@@ -1,0 +1,311 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (reduced "small" scale — see DESIGN.md §4 for the index and
+// cmd/feddg for paper-scale runs), plus micro-benchmarks of the hot
+// computational kernels. Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each macro-benchmark prints its table through b.Log on the first
+// iteration, so the bench run reproduces the paper artifacts.
+package pardon_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/attack"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/eval"
+	"github.com/pardon-feddg/pardon/internal/finch"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/style"
+	"github.com/pardon-feddg/pardon/internal/synth"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+var logOnce sync.Map
+
+func logFirst(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := logOnce.LoadOrStore(key, true); !loaded {
+		b.Log("\n" + text)
+	}
+}
+
+// --- Table I: LTDO comparison (PACS + Office-Home) ---
+
+func BenchmarkTable1LTDO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := eval.RunLTDO(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			logFirst(b, "table1-"+r.Dataset, r.Table("Table I — LTDO on "+r.Dataset).Render())
+		}
+	}
+}
+
+// --- Table II: LODO comparison ---
+
+func BenchmarkTable2LODO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := eval.RunLODO(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			logFirst(b, "table2-"+r.Dataset, r.Table("Table II — LODO on "+r.Dataset).Render())
+		}
+	}
+}
+
+// --- Table III: IWildCam λ sweep ---
+
+func BenchmarkTable3IWildCam(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunIWildCam(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "table3", r.Table().Render())
+	}
+}
+
+// --- Table IV: style-inversion privacy attacks ---
+
+func BenchmarkTable4Attack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := attack.RunPrivacy(attack.PrivacyConfig{Seed: 1, VictimsPerDomain: 96, ClientsPerDomain: 8, PublicSamples: 320})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "table4", r.Table().Render())
+	}
+}
+
+// --- Table V: PARDON ablation ---
+
+func BenchmarkTable5Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunAblation(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "table5", r.Table().Render())
+	}
+}
+
+// --- Fig. 1: loss landscape + feature separation ---
+
+func BenchmarkFig1Landscape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunLandscape(eval.Config{Scale: eval.Small, Seed: 1}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "fig1", r.Table().Render())
+	}
+}
+
+// --- Fig. 3: convergence curves by λ ---
+
+func BenchmarkFig3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunConvergence(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for li, t := range r.Tables() {
+			if li == 1 { // λ=0.1, the paper's default, as the sample
+				logFirst(b, "fig3", t.Render())
+			}
+		}
+	}
+}
+
+// --- Fig. 4: computational overhead ---
+
+func BenchmarkFig4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunOverhead(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "fig4", r.Table().Render())
+	}
+}
+
+// --- Fig. 5: client scaling (K fixed, N growing) ---
+
+func BenchmarkFig5ClientScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunClientScaling(eval.Config{Scale: eval.Small, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range r.Tables() {
+			logFirst(b, "fig5-"+t.Title, t.Render())
+		}
+	}
+}
+
+// --- Figs. 6/7 are the image dumps of Table IV's attacks (cmd/feddg
+// -exp fig6/fig7); Fig. 8: transfer distinguishability ---
+
+func BenchmarkFig8StyleTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunStyleTransferComparison(eval.Config{Scale: eval.Small, Seed: 1}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		logFirst(b, "fig8", r.Table().Render())
+	}
+}
+
+// --- Ablation benches for DESIGN.md §5 design choices ---
+
+// BenchmarkAblationMedianVsMean quantifies Eq. 5's median against plain
+// averaging when an extreme style group is present.
+func BenchmarkAblationMedianVsMean(b *testing.B) {
+	styles := make([][]float64, 0, 40)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 36; i++ {
+		styles = append(styles, []float64{1 + r.NormFloat64()*0.1, 1 + r.NormFloat64()*0.1, 1, 1})
+	}
+	for i := 0; i < 4; i++ {
+		styles = append(styles, []float64{400 + r.NormFloat64(), 400, -400, 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med, err := core.InterpolationStyle(styles, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean, err := core.InterpolationStyle(styles, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("median-fused μ[0]=%.2f vs mean-fused μ[0]=%.2f (extreme group present)", med.Mu[0], mean.Mu[0])
+		}
+	}
+}
+
+// BenchmarkAblationFinchLevel compares global clustering on the finest
+// versus coarsest FINCH partition (the level choice called out in
+// DESIGN.md).
+func BenchmarkAblationFinchLevel(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 60)
+	for i := range pts {
+		base := float64(i%3) * 5
+		pts[i] = []float64{base + r.NormFloat64()*0.2, base + r.NormFloat64()*0.2}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := finch.Cluster(pts, finch.Cosine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("FINCH levels: finest=%d clusters, coarsest=%d clusters",
+				res.First().NumClusters, res.Last().NumClusters)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the computational kernels ---
+
+func BenchmarkEncoderEncode(b *testing.B) {
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Randn(rand.New(rand.NewSource(1)), 1, 3, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaIN(b *testing.B) {
+	f := tensor.Randn(rand.New(rand.NewSource(2)), 1, 16, 8, 8)
+	target := &style.Style{Mu: make([]float64, 16), Sigma: make([]float64, 16)}
+	for i := range target.Sigma {
+		target.Sigma[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := style.AdaIN(f, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFINCH200Points(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := finch.Cluster(pts, finch.Cosine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelForwardBackward(b *testing.B) {
+	m, err := nn.New(nn.Config{In: 1024, Hidden: 64, ZDim: 32, Classes: 7}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Randn(rand.New(rand.NewSource(5)), 1, 32, 1024)
+	grads := m.NewGrads()
+	dLogits := tensor.Randn(rand.New(rand.NewSource(6)), 0.1, 32, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acts, err := m.Forward(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grads.Zero()
+		if err := m.Backward(acts, dLogits, nil, grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthRender(b *testing.B) {
+	gen, err := synth.New(synth.PACSConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Render(i%7, i%4, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClientStyle(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	feats := make([]*tensor.Tensor, 40)
+	for i := range feats {
+		feats[i] = tensor.Randn(r, 1, 16, 8, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ClientStyle(feats, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command feddg regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	feddg -exp table1 [-scale small|paper] [-seed N] [-seeds K] [-out DIR]
+//	feddg -exp all -scale small
+//
+// Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
+// fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
+// are written under -out (default ./out).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pardon-feddg/pardon/internal/attack"
+	"github.com/pardon-feddg/pardon/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "feddg:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag   = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
+		scaleFlag = flag.String("scale", "small", "experiment scale: small|paper")
+		seedFlag  = flag.Uint64("seed", 1, "root random seed")
+		seedsFlag = flag.Int("seeds", 1, "number of seeds to average")
+		outFlag   = flag.String("out", "out", "output directory for figure artifacts")
+	)
+	flag.Parse()
+	if *expFlag == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -exp")
+	}
+	scale, err := eval.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	cfg := eval.Config{Scale: scale, Seed: *seedFlag, Seeds: *seedsFlag}
+
+	exps := []string{*expFlag}
+	if *expFlag == "all" {
+		exps = []string{"table1", "table2", "table3", "table4", "table5", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	}
+	for _, exp := range exps {
+		start := time.Now()
+		if err := runExperiment(exp, cfg, *outFlag); err != nil {
+			return fmt.Errorf("%s: %w", exp, err)
+		}
+		fmt.Printf("[%s completed in %s]\n\n", exp, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runExperiment(exp string, cfg eval.Config, outDir string) error {
+	switch exp {
+	case "table1":
+		results, err := eval.RunLTDO(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println(r.Table("Table I — LTDO on " + r.Dataset).Render())
+		}
+	case "table2":
+		results, err := eval.RunLODO(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			fmt.Println(r.Table("Table II — LODO on " + r.Dataset).Render())
+		}
+	case "table3":
+		r, err := eval.RunIWildCam(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "table4":
+		pc := attack.DefaultPrivacyConfig(cfg.Seed)
+		r, err := attack.RunPrivacy(pc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "table5":
+		r, err := eval.RunAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig1":
+		r, err := eval.RunLandscape(cfg, outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig3":
+		r, err := eval.RunConvergence(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			fmt.Println(t.Render())
+		}
+	case "fig4":
+		r, err := eval.RunOverhead(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+	case "fig5":
+		r, err := eval.RunClientScaling(cfg)
+		if err != nil {
+			return err
+		}
+		for _, t := range r.Tables() {
+			fmt.Println(t.Render())
+		}
+	case "fig6", "fig7":
+		pc := attack.DefaultPrivacyConfig(cfg.Seed)
+		pc.OutDir = outDir
+		r, err := attack.RunPrivacy(pc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		fmt.Printf("reconstruction grids written under %s/\n", outDir)
+	case "fig8":
+		r, err := eval.RunStyleTransferComparison(cfg, outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table().Render())
+		fmt.Printf("style-transfer grids written under %s/\n", outDir)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package pardon is the root of a pure-Go reproduction of "PARDON:
+// Privacy-Aware and Robust Federated Domain Generalization" (ICDCS 2025).
+//
+// The repository implements the complete system described by the paper —
+// the PARDON algorithm itself plus every substrate it depends on — with no
+// dependencies outside the Go standard library:
+//
+//   - a dense tensor and neural-network training stack (internal/tensor,
+//     internal/nn, internal/loss),
+//   - the FINCH parameter-free clustering algorithm (internal/finch),
+//   - AdaIN feature-space style transfer and style statistics
+//     (internal/style) with a frozen pre-trained encoder (internal/encoder),
+//   - a synthetic content-times-style domain dataset family standing in for
+//     PACS / Office-Home / IWildCam (internal/synth),
+//   - a federated-learning engine with domain-based client heterogeneity and
+//     client sampling (internal/fl, internal/partition),
+//   - the PARDON algorithm (internal/core) and five published baselines
+//     (internal/baselines: FedAvg, FedSR, FedGMA, FPL, FedDG-GA, CCST),
+//   - style-inversion privacy attacks with FID / Inception-Score analogue
+//     metrics (internal/attack, internal/stats),
+//   - experiment runners that regenerate every table and figure of the
+//     paper's evaluation (internal/eval, cmd/feddg, bench_test.go).
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package pardon

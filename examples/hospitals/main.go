@@ -1,0 +1,108 @@
+// Hospitals: the paper's motivating medical scenario. Scanner vendors act
+// as domains; hospitals (clients) hold heterogeneous mixtures of vendor
+// data; only a fraction of hospitals joins each round; the trained model
+// must generalize to a hospital with an unseen scanner. Compares naïve
+// FedAvg against PARDON under increasing heterogeneity.
+//
+//	go run ./examples/hospitals
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hospitals:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Five scanner vendors (domains), six diagnostic classes: four
+	// vendors supply training hospitals, the fifth is the unseen scanner.
+	cfg := synth.Config{
+		Name: "scanners", NumClasses: 6, NumDomains: 5,
+		H: 16, W: 16, ContentDim: 12,
+		ContentScale: 0.7, ContentNoise: 0.45, PixelNoise: 0.2,
+		StyleStrength: 0.8, Seed: 7,
+		DomainNames: []string{"VendorA", "VendorB", "VendorC", "VendorD", "VendorE"},
+	}
+	gen, err := synth.New(cfg)
+	if err != nil {
+		return err
+	}
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	c, h, w := enc.OutShape()
+
+	fmt.Println("Federated hospitals: 30 hospitals, 6 join per round,")
+	fmt.Println("train on VendorA–D, deploy on unseen VendorE")
+	fmt.Println()
+	fmt.Printf("%-28s %10s %10s\n", "heterogeneity", "FedAvg", "PARDON")
+
+	for _, lambda := range []float64{0.0, 0.1, 0.5} {
+		env := &fl.Env{
+			Enc:      enc,
+			ModelCfg: nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: 6},
+			Hyper:    fl.DefaultHyper(),
+			RNG:      rng.New(100 + uint64(lambda*10)),
+		}
+		var train []*dataset.Dataset
+		for d := 0; d < 4; d++ {
+			ds, err := gen.GenerateDomain(d, 240, "train")
+			if err != nil {
+				return err
+			}
+			train = append(train, ds)
+		}
+		if err := env.Calibrate(64, train...); err != nil {
+			return err
+		}
+		unseen, err := gen.GenerateDomain(4, 240, "deploy")
+		if err != nil {
+			return err
+		}
+		parts, err := partition.PartitionByDomain(train,
+			partition.Options{NumClients: 30, Lambda: lambda}, env.RNG.Stream("partition"))
+		if err != nil {
+			return err
+		}
+		clients, err := fl.NewClients(env, parts)
+		if err != nil {
+			return err
+		}
+		test, err := fl.NewEvalSet(env, unseen)
+		if err != nil {
+			return err
+		}
+		runCfg := fl.RunConfig{Rounds: 15, SampleK: 6}
+		_, avgHist, err := fl.Run(env, &baselines.FedAvg{}, clients, nil, test, runCfg)
+		if err != nil {
+			return err
+		}
+		_, pHist, err := fl.Run(env, core.New(core.DefaultOptions()), clients, nil, test, runCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("λ=%.1f %22s %9.1f%% %9.1f%%\n", lambda, "",
+			100*avgHist.Final().TestAcc, 100*pHist.Final().TestAcc)
+	}
+	fmt.Println()
+	fmt.Println("PARDON shares only one 32-number style vector per hospital —")
+	fmt.Println("no patient images, no per-image statistics (see examples/privacyaudit).")
+	return nil
+}

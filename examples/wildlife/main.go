@@ -1,0 +1,111 @@
+// Wildlife: the IWildCam-style scenario — hundreds of camera traps as
+// domains, long-tailed species distribution, each camera seeing only a
+// few species. Sweeps the heterogeneity level λ and reports how stable
+// each method is, mirroring the paper's Table III.
+//
+//	go run ./examples/wildlife
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wildlife:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 30 camera traps, 24 species, each camera sees ~7 of them; the last
+	// cameras are never part of training.
+	cfg := synth.IWildCamConfig(11, 30, 24, 7)
+	gen, err := synth.New(cfg)
+	if err != nil {
+		return err
+	}
+	trainDoms, _, testDoms := synth.IWildCamSplit(cfg.NumDomains)
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	c, h, w := enc.OutShape()
+
+	fmt.Printf("Wildlife monitoring: %d training cameras, %d held-out cameras, %d species\n",
+		len(trainDoms), len(testDoms), cfg.NumClasses)
+	fmt.Println()
+	fmt.Printf("%-8s %10s %10s %10s\n", "λ", "FedAvg", "CCST", "PARDON")
+
+	for _, lambda := range []float64{0.0, 0.5, 1.0} {
+		env := &fl.Env{
+			Enc:      enc,
+			ModelCfg: nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: cfg.NumClasses},
+			Hyper:    fl.DefaultHyper(),
+			RNG:      rng.New(200 + uint64(lambda*10)),
+		}
+		var train []*dataset.Dataset
+		for _, d := range trainDoms {
+			ds, err := gen.GenerateDomain(d, 50, "train")
+			if err != nil {
+				return err
+			}
+			train = append(train, ds)
+		}
+		if err := env.Calibrate(16, train...); err != nil {
+			return err
+		}
+		var testParts []*dataset.Dataset
+		for _, d := range testDoms {
+			ds, err := gen.GenerateDomain(d, 40, "test")
+			if err != nil {
+				return err
+			}
+			testParts = append(testParts, ds)
+		}
+		testDS, err := dataset.Merge(testParts...)
+		if err != nil {
+			return err
+		}
+		// One client per training camera; 20% sampled each round.
+		parts, err := partition.PartitionByDomain(train,
+			partition.Options{NumClients: len(trainDoms), Lambda: lambda}, env.RNG.Stream("partition"))
+		if err != nil {
+			return err
+		}
+		clients, err := fl.NewClients(env, parts)
+		if err != nil {
+			return err
+		}
+		test, err := fl.NewEvalSet(env, testDS)
+		if err != nil {
+			return err
+		}
+		runCfg := fl.RunConfig{Rounds: 12, SampleK: len(trainDoms) / 5}
+		accs := make([]float64, 0, 3)
+		for _, alg := range []fl.Algorithm{&baselines.FedAvg{}, baselines.NewCCST(), core.New(core.DefaultOptions())} {
+			_, hist, err := fl.Run(env, alg, clients, nil, test, runCfg)
+			if err != nil {
+				return err
+			}
+			accs = append(accs, hist.Final().TestAcc)
+		}
+		fmt.Printf("λ=%.1f %11.1f%% %9.1f%% %9.1f%%\n", lambda, 100*accs[0], 100*accs[1], 100*accs[2])
+	}
+	fmt.Println()
+	fmt.Println("unseen-camera accuracy; each camera's style (day/night, vegetation,")
+	fmt.Println("sensor) differs wildly — the regime where fused interpolation styles")
+	fmt.Println("stay stable while per-camera style transfer destabilizes")
+	return nil
+}

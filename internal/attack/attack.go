@@ -1,0 +1,195 @@
+// Package attack implements the paper's privacy evaluation (§IV-B3,
+// Table IV, Figs. 6–7): reconstruction attacks that try to invert shared
+// style vectors back into private training images.
+//
+// The paper trains a GAN (FastGAN) conditioned on style vectors; this
+// reproduction substitutes a ridge-regression decoder from style vectors
+// to images (see DESIGN.md §2) — the substitution preserves the question
+// being asked, which is information-theoretic: do the shared 2d numbers
+// carry enough signal to reconstruct recognizable private images? Two
+// adversaries are modeled:
+//
+//	(i)  third-party/server: the decoder is trained on a public corpus
+//	     (the Tiny-ImageNet stand-in) and applied to victims' styles;
+//	(ii) inter-client: a malicious client trains the decoder on its own
+//	     private data, then inverts other clients' styles.
+//
+// Reconstruction quality is scored by FID (Fréchet distance over frozen-
+// encoder features; higher = worse reconstruction = stronger privacy), an
+// Inception-Score analogue over a victim-domain classifier's posteriors
+// (lower = less recognizable class content), and PSNR.
+package attack
+
+import (
+	"fmt"
+
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// Decoder maps style vectors to flattened images by ridge regression:
+// given training pairs (s_i, x_i) it solves W = argmin Σ‖W·ŝ_i − x_i‖² +
+// ridge·‖W‖² with ŝ the style vector extended by a bias term.
+type Decoder struct {
+	// w has shape (outDim, inDim+1); the last column is the bias.
+	w      *tensor.Tensor
+	inDim  int
+	outDim int
+	// ImgShape is the (C,H,W) the decoder reconstructs into.
+	ImgShape [3]int
+}
+
+// TrainDecoder fits the ridge decoder on (style, image) pairs.
+func TrainDecoder(styles [][]float64, images []*tensor.Tensor, ridge float64) (*Decoder, error) {
+	if len(styles) == 0 || len(styles) != len(images) {
+		return nil, fmt.Errorf("attack: %d styles for %d images", len(styles), len(images))
+	}
+	if ridge <= 0 {
+		ridge = 1e-3
+	}
+	in := len(styles[0])
+	img0 := images[0]
+	if img0.Dims() != 3 {
+		return nil, fmt.Errorf("attack: image shape %v, want (C,H,W)", img0.Shape())
+	}
+	out := img0.Len()
+	aug := in + 1
+
+	// Normal equations: (XᵀX + ridge·I) Wᵀ = Xᵀ Y with X (n, aug).
+	xtx := make([][]float64, aug)
+	for i := range xtx {
+		xtx[i] = make([]float64, aug)
+	}
+	xty := make([][]float64, aug)
+	for i := range xty {
+		xty[i] = make([]float64, out)
+	}
+	row := make([]float64, aug)
+	for n, s := range styles {
+		if len(s) != in {
+			return nil, fmt.Errorf("attack: style %d has dim %d, want %d", n, len(s), in)
+		}
+		if images[n].Len() != out {
+			return nil, fmt.Errorf("attack: image %d has %d elements, want %d", n, images[n].Len(), out)
+		}
+		copy(row, s)
+		row[in] = 1
+		y := images[n].Data()
+		for i := 0; i < aug; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			for j := i; j < aug; j++ {
+				xtx[i][j] += ri * row[j]
+			}
+			xr := xty[i]
+			for j := 0; j < out; j++ {
+				xr[j] += ri * y[j]
+			}
+		}
+	}
+	for i := 0; i < aug; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge
+	}
+	wt, err := solveMulti(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("attack: ridge solve: %w", err)
+	}
+	// Transpose into (out, aug).
+	w := tensor.New(out, aug)
+	wd := w.Data()
+	for i := 0; i < aug; i++ {
+		for j := 0; j < out; j++ {
+			wd[j*aug+i] = wt[i][j]
+		}
+	}
+	sh := img0.Shape()
+	return &Decoder{w: w, inDim: in, outDim: out, ImgShape: [3]int{sh[0], sh[1], sh[2]}}, nil
+}
+
+// Reconstruct inverts one style vector into an image.
+func (d *Decoder) Reconstruct(style []float64) (*tensor.Tensor, error) {
+	if len(style) != d.inDim {
+		return nil, fmt.Errorf("attack: style dim %d, want %d", len(style), d.inDim)
+	}
+	out := tensor.New(d.ImgShape[0], d.ImgShape[1], d.ImgShape[2])
+	od := out.Data()
+	aug := d.inDim + 1
+	wd := d.w.Data()
+	for j := 0; j < d.outDim; j++ {
+		s := wd[j*aug+d.inDim] // bias
+		for i, v := range style {
+			s += wd[j*aug+i] * v
+		}
+		od[j] = s
+	}
+	return out, nil
+}
+
+// ReconstructAll inverts a batch of style vectors.
+func (d *Decoder) ReconstructAll(styles [][]float64) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(styles))
+	for i, s := range styles {
+		r, err := d.Reconstruct(s)
+		if err != nil {
+			return nil, fmt.Errorf("attack: style %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// solveMulti solves A X = B for X with A (n,n) SPD-ish and B (n,m), by
+// Gaussian elimination with partial pivoting. A and B are overwritten.
+func solveMulti(a [][]float64, b [][]float64) ([][]float64, error) {
+	n := len(a)
+	m := len(b[0])
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		best := abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := abs(a[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("attack: singular system at column %d", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		inv := 1.0 / a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			for c := 0; c < m; c++ {
+				b[r][c] -= f * b[col][c]
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		inv := 1.0 / a[r][r]
+		for c := 0; c < m; c++ {
+			b[r][c] *= inv
+		}
+	}
+	return b, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

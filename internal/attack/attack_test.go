@@ -1,0 +1,129 @@
+package attack_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/attack"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// The ridge decoder must recover an exactly linear style→image relation.
+func TestDecoderFitsLinearMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	in, c, h, w := 4, 1, 2, 3
+	out := c * h * w
+	// Ground-truth linear map.
+	W := make([][]float64, out)
+	for i := range W {
+		W[i] = make([]float64, in+1)
+		for j := range W[i] {
+			W[i][j] = r.NormFloat64()
+		}
+	}
+	var styles [][]float64
+	var images []*tensor.Tensor
+	for n := 0; n < 60; n++ {
+		s := make([]float64, in)
+		for j := range s {
+			s[j] = r.NormFloat64()
+		}
+		img := tensor.New(c, h, w)
+		for i := 0; i < out; i++ {
+			v := W[i][in]
+			for j := 0; j < in; j++ {
+				v += W[i][j] * s[j]
+			}
+			img.Data()[i] = v
+		}
+		styles = append(styles, s)
+		images = append(images, img)
+	}
+	dec, err := attack.TrainDecoder(styles, images, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -1.2, 0.7, 2.0}
+	rec, err := dec.Reconstruct(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out; i++ {
+		want := W[i][in]
+		for j := 0; j < in; j++ {
+			want += W[i][j] * probe[j]
+		}
+		if math.Abs(rec.Data()[i]-want) > 1e-4 {
+			t.Fatalf("recon[%d] = %g, want %g", i, rec.Data()[i], want)
+		}
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	if _, err := attack.TrainDecoder(nil, nil, 1); err == nil {
+		t.Fatal("empty training set should error")
+	}
+	styles := [][]float64{{1, 2}}
+	images := []*tensor.Tensor{tensor.New(6)}
+	if _, err := attack.TrainDecoder(styles, images, 1); err == nil {
+		t.Fatal("non-3D image should error")
+	}
+	images = []*tensor.Tensor{tensor.New(1, 2, 3)}
+	dec, err := attack.TrainDecoder(styles, images, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Reconstruct([]float64{1}); err == nil {
+		t.Fatal("wrong style dim should error")
+	}
+}
+
+func TestReconstructAll(t *testing.T) {
+	styles := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	images := []*tensor.Tensor{tensor.Full(1, 1, 2, 2), tensor.Full(2, 1, 2, 2), tensor.Full(3, 1, 2, 2)}
+	dec, err := attack.TrainDecoder(styles, images, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dec.ReconstructAll(styles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d reconstructions", len(recs))
+	}
+	if recs[0].Dim(0) != 1 || recs[0].Dim(1) != 2 || recs[0].Dim(2) != 2 {
+		t.Fatalf("recon shape %v", recs[0].Shape())
+	}
+}
+
+// The headline privacy claim at unit-test scale: inverting per-sample
+// styles reconstructs the data distribution far better (lower FID) than
+// inverting a single client-level style.
+func TestPrivacyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("privacy run is not short")
+	}
+	cfg := attack.PrivacyConfig{Seed: 3, VictimsPerDomain: 64, ClientsPerDomain: 8, PublicSamples: 240}
+	res, err := attack.RunPrivacy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ThirdParty) != 4 || len(res.InterClient) != 4 {
+		t.Fatalf("rows: %d/%d", len(res.ThirdParty), len(res.InterClient))
+	}
+	for _, rows := range [][]attack.DomainScores{res.ThirdParty, res.InterClient} {
+		for _, d := range rows {
+			if !(d.FIDClient > d.FIDSample) {
+				t.Errorf("%s: FID client %g should exceed FID sample %g", d.Domain, d.FIDClient, d.FIDSample)
+			}
+			if !(d.ISSample >= d.ISClient) {
+				t.Errorf("%s: IS sample %g should be ≥ IS client %g", d.Domain, d.ISSample, d.ISClient)
+			}
+		}
+	}
+	if res.Table().Render() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,70 @@
+// Package baselines implements the five state-of-the-art FedDG methods the
+// paper compares against (§IV: FedSR, FedGMA, FPL, FedDG-GA, CCST) plus
+// plain FedAvg, all on the shared fl.Algorithm interface so every
+// experiment swaps methods freely.
+//
+// Each implementation follows its source publication at the algorithmic
+// level (what signal is shared, what the local objective is, how the
+// server aggregates); see the per-file comments for the exact form and any
+// simplification.
+package baselines
+
+import (
+	"strconv"
+
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+)
+
+// trainCE is the plain local-SGD cross-entropy loop shared by FedAvg and
+// the server-side methods (FedGMA, FedDG-GA).
+func trainCE(env *fl.Env, c *fl.Client, global *nn.Model, round int, name string) (*nn.Model, error) {
+	model := global.Clone()
+	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
+	grads := model.NewGrads()
+	r := env.RNG.Stream(name, "train", strconv.Itoa(c.ID), strconv.Itoa(round))
+	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
+		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
+			x, y := c.Batch(idx)
+			acts, err := model.Forward(x)
+			if err != nil {
+				return nil, err
+			}
+			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
+			if err != nil {
+				return nil, err
+			}
+			grads.Zero()
+			if err := model.Backward(acts, dLogits, nil, grads); err != nil {
+				return nil, err
+			}
+			if err := opt.Step(model, grads); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return model, nil
+}
+
+// FedAvg is the naïve baseline: local cross-entropy, size-weighted
+// averaging (McMahan et al. 2017).
+type FedAvg struct{}
+
+var _ fl.Algorithm = (*FedAvg)(nil)
+
+// Name implements fl.Algorithm.
+func (*FedAvg) Name() string { return "FedAvg" }
+
+// Setup implements fl.Algorithm (no signal exchange).
+func (*FedAvg) Setup(*fl.Env, []*fl.Client) error { return nil }
+
+// LocalTrain implements fl.Algorithm.
+func (*FedAvg) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int) (*nn.Model, error) {
+	return trainCE(env, c, global, round, "FedAvg")
+}
+
+// Aggregate implements fl.Algorithm.
+func (*FedAvg) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return fl.FedAvg(parts, updates)
+}

@@ -1,0 +1,191 @@
+package baselines
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/style"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// CCSTMode selects what CCST shares: whole-client styles or per-sample
+// styles. The sample-level mode is the configuration whose privacy the
+// paper attacks in Table IV / Figs. 6–8.
+type CCSTMode int
+
+const (
+	// CCSTOverall shares one style per client (the "overall" mode).
+	CCSTOverall CCSTMode = iota + 1
+	// CCSTSample shares a bank of individual sample styles per client.
+	CCSTSample
+)
+
+// BankEntry is one shared style and its owning client.
+type BankEntry struct {
+	Owner int
+	S     *style.Style
+}
+
+// CCST implements "Federated Domain Generalization for Image Recognition
+// via Cross-Client Style Transfer" (Chen et al., WACV 2023): clients
+// upload style statistics to a shared bank; during local training each
+// client AdaIN-augments its samples toward styles of *other* clients,
+// exposing every client to the styles present elsewhere in the federation.
+//
+// Contrast with PARDON: the bank holds raw per-client (or per-sample)
+// styles — the cross-sharing that the paper's security analysis inverts —
+// and each augmentation targets one individual foreign style rather than a
+// fused interpolation style.
+type CCST struct {
+	Mode CCSTMode
+	// SamplesPerClient bounds the per-client bank size in sample mode.
+	SamplesPerClient int
+	// AugPerBatch is how many augmented views accompany each batch.
+	AugPerBatch int
+
+	mu   sync.RWMutex
+	bank []BankEntry
+}
+
+var _ fl.Algorithm = (*CCST)(nil)
+
+// NewCCST returns CCST in its default "overall" (client-level) mode.
+func NewCCST() *CCST {
+	return &CCST{Mode: CCSTOverall, SamplesPerClient: 10, AugPerBatch: 1}
+}
+
+// NewCCSTSample returns CCST sharing sample-level styles — the high-leak
+// configuration used as the privacy strawman in Table IV.
+func NewCCSTSample() *CCST {
+	return &CCST{Mode: CCSTSample, SamplesPerClient: 10, AugPerBatch: 1}
+}
+
+// Name implements fl.Algorithm.
+func (c *CCST) Name() string {
+	if c.Mode == CCSTSample {
+		return "CCST-sample"
+	}
+	return "CCST"
+}
+
+// Bank returns a copy of the shared style bank after Setup — exactly what
+// any participant (or the server) can observe, used by the privacy
+// attacks.
+func (c *CCST) Bank() []BankEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]BankEntry, len(c.bank))
+	for i, e := range c.bank {
+		out[i] = BankEntry{Owner: e.Owner, S: e.S.Clone()}
+	}
+	return out
+}
+
+// Setup implements fl.Algorithm: build and broadcast the style bank.
+func (c *CCST) Setup(env *fl.Env, clients []*fl.Client) error {
+	bank := make([]BankEntry, 0, len(clients))
+	for _, cl := range clients {
+		switch c.Mode {
+		case CCSTSample:
+			r := env.RNG.Stream("CCST", "bank", strconv.Itoa(cl.ID))
+			n := c.SamplesPerClient
+			if n <= 0 || n > len(cl.Features) {
+				n = len(cl.Features)
+			}
+			for _, i := range r.Perm(len(cl.Features))[:n] {
+				s, err := style.Of(cl.Features[i])
+				if err != nil {
+					return fmt.Errorf("ccst: client %d sample %d: %w", cl.ID, i, err)
+				}
+				bank = append(bank, BankEntry{Owner: cl.ID, S: s})
+			}
+		default:
+			s, err := style.OfConcat(cl.Features, nil)
+			if err != nil {
+				return fmt.Errorf("ccst: client %d: %w", cl.ID, err)
+			}
+			bank = append(bank, BankEntry{Owner: cl.ID, S: s})
+		}
+	}
+	c.mu.Lock()
+	c.bank = bank
+	c.mu.Unlock()
+	return nil
+}
+
+// LocalTrain implements fl.Algorithm: cross-entropy over the original
+// batch plus AugPerBatch views style-transferred to random foreign styles.
+func (c *CCST) LocalTrain(env *fl.Env, cl *fl.Client, global *nn.Model, round int) (*nn.Model, error) {
+	model := global.Clone()
+	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
+	grads := model.NewGrads()
+	r := env.RNG.Stream("CCST", "train", strconv.Itoa(cl.ID), strconv.Itoa(round))
+
+	c.mu.RLock()
+	bank := c.bank
+	c.mu.RUnlock()
+	// Foreign entries only: CCST transfers toward *other* clients.
+	var foreign []BankEntry
+	for _, e := range bank {
+		if e.Owner != cl.ID {
+			foreign = append(foreign, e)
+		}
+	}
+
+	in := env.InputDim()
+	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
+		for _, idx := range fl.Batches(cl.Data.Len(), env.Hyper.BatchSize, r) {
+			x, y := cl.Batch(idx)
+			acts, err := model.Forward(x)
+			if err != nil {
+				return nil, err
+			}
+			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
+			if err != nil {
+				return nil, err
+			}
+			grads.Zero()
+			if err := model.Backward(acts, dLogits, nil, grads); err != nil {
+				return nil, err
+			}
+			for v := 0; v < c.AugPerBatch && len(foreign) > 0; v++ {
+				xp := tensor.New(len(idx), in)
+				xpd := xp.Data()
+				for bi, i := range idx {
+					target := foreign[r.Intn(len(foreign))].S
+					tf, err := style.AdaIN(cl.Features[i], target)
+					if err != nil {
+						return nil, err
+					}
+					row := xpd[bi*in : (bi+1)*in]
+					copy(row, tf.Data())
+					env.NormalizeFeature(row)
+				}
+				actsP, err := model.Forward(xp)
+				if err != nil {
+					return nil, err
+				}
+				_, dLogitsP, err := loss.CrossEntropy(actsP.Logits, y)
+				if err != nil {
+					return nil, err
+				}
+				if err := model.Backward(actsP, dLogitsP, nil, grads); err != nil {
+					return nil, err
+				}
+			}
+			if err := opt.Step(model, grads); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return model, nil
+}
+
+// Aggregate implements fl.Algorithm (CCST uses plain FedAvg).
+func (*CCST) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return fl.FedAvg(parts, updates)
+}

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+)
+
+// FedGMA implements "Gradient Masked Averaging for Federated Learning"
+// (Tenison et al., TMLR 2023): local training is plain cross-entropy, but
+// the server masks each parameter coordinate by the signed agreement of
+// the client updates — coordinates where clients disagree on the update
+// direction (agreement below τ) are damped, on the invariant-mechanism
+// hypothesis that agreed directions generalize.
+type FedGMA struct {
+	// Tau is the agreement threshold in [0,1].
+	Tau float64
+	// ServerLR scales the masked averaged update.
+	ServerLR float64
+	// MaskedScale is applied to below-threshold coordinates (the paper's
+	// soft variant uses the agreement score; 0 hard-masks).
+	MaskedScale float64
+}
+
+var _ fl.Algorithm = (*FedGMA)(nil)
+
+// NewFedGMA returns FedGMA with the paper's recommended threshold.
+func NewFedGMA() *FedGMA {
+	return &FedGMA{Tau: 0.4, ServerLR: 1.0, MaskedScale: 0.0}
+}
+
+// Name implements fl.Algorithm.
+func (*FedGMA) Name() string { return "FedGMA" }
+
+// Setup implements fl.Algorithm (no signal exchange).
+func (*FedGMA) Setup(*fl.Env, []*fl.Client) error { return nil }
+
+// LocalTrain implements fl.Algorithm.
+func (*FedGMA) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int) (*nn.Model, error) {
+	return trainCE(env, c, global, round, "FedGMA")
+}
+
+// Aggregate implements fl.Algorithm: gradient-masked averaging.
+func (g *FedGMA) Aggregate(_ *fl.Env, global *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fedgma: no updates")
+	}
+	gv := global.ParamVector()
+	n := len(gv)
+	deltas := make([][]float64, len(updates))
+	weights := make([]float64, len(updates))
+	totalW := 0.0
+	for i, u := range updates {
+		uv := u.ParamVector()
+		if len(uv) != n {
+			return nil, fmt.Errorf("fedgma: update %d has %d params, want %d", i, len(uv), n)
+		}
+		d := make([]float64, n)
+		for j := range d {
+			d[j] = uv[j] - gv[j]
+		}
+		deltas[i] = d
+		weights[i] = float64(parts[i].Data.Len())
+		totalW += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= totalW
+	}
+
+	out := global.Clone()
+	ov := out.ParamVector()
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		signSum := 0.0
+		for i := range deltas {
+			dj := deltas[i][j]
+			avg += weights[i] * dj
+			switch {
+			case dj > 0:
+				signSum += weights[i]
+			case dj < 0:
+				signSum -= weights[i]
+			}
+		}
+		agreement := signSum
+		if agreement < 0 {
+			agreement = -agreement
+		}
+		scale := g.ServerLR
+		if agreement < g.Tau {
+			scale *= g.MaskedScale
+		}
+		ov[j] = gv[j] + scale*avg
+	}
+	if err := out.SetParamVector(ov); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

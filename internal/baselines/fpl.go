@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"strconv"
+	"sync"
+
+	"github.com/pardon-feddg/pardon/internal/finch"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// FPL implements "Rethinking Federated Learning with Domain Shift: A
+// Prototype View" (Huang et al., CVPR 2023): participating clients report
+// per-class embedding prototypes; the server clusters each class's
+// prototypes (here with FINCH, parameter-free) and averages cluster
+// centers into unbiased global prototypes; local training adds a
+// prototype-contrastive term pulling embeddings toward their class's
+// global prototype and away from the others.
+//
+// Because prototypes are rebuilt each round from the sampled participants
+// only, FPL observes a partial view of the domain population under client
+// sampling — the structural weakness PARDON's one-time interpolation style
+// avoids (paper §I, §IV-B).
+type FPL struct {
+	// ProtoCoef weights the prototype-contrastive loss.
+	ProtoCoef float64
+	// Tau is the contrastive temperature.
+	Tau float64
+
+	mu     sync.RWMutex
+	protos *tensor.Tensor // (Classes, ZDim); zero rows = unobserved class
+}
+
+var _ fl.Algorithm = (*FPL)(nil)
+
+// NewFPL returns FPL with its default coefficients.
+func NewFPL() *FPL {
+	return &FPL{ProtoCoef: 1.0, Tau: 0.5}
+}
+
+// Name implements fl.Algorithm.
+func (*FPL) Name() string { return "FPL" }
+
+// Setup implements fl.Algorithm. Prototypes start empty; the first round
+// trains with cross-entropy alone.
+func (f *FPL) Setup(*fl.Env, []*fl.Client) error { return nil }
+
+// Prototypes returns a copy of the current global prototypes (nil before
+// the first aggregation) — exposed for tests and the privacy discussion
+// (class-level prototypes are exactly the kind of shared signal the paper
+// flags as a leak channel in related work).
+func (f *FPL) Prototypes() *tensor.Tensor {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.protos == nil {
+		return nil
+	}
+	return f.protos.Clone()
+}
+
+// LocalTrain implements fl.Algorithm.
+func (f *FPL) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int) (*nn.Model, error) {
+	model := global.Clone()
+	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
+	grads := model.NewGrads()
+	r := env.RNG.Stream("FPL", "train", strconv.Itoa(c.ID), strconv.Itoa(round))
+
+	f.mu.RLock()
+	protos := f.protos
+	f.mu.RUnlock()
+
+	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
+		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
+			x, y := c.Batch(idx)
+			acts, err := model.Forward(x)
+			if err != nil {
+				return nil, err
+			}
+			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
+			if err != nil {
+				return nil, err
+			}
+			var dz *tensor.Tensor
+			if protos != nil {
+				_, dzP, err := loss.ProtoContrast(acts.Z, y, protos, f.Tau)
+				if err != nil {
+					return nil, err
+				}
+				dz = dzP.Scale(f.ProtoCoef)
+			}
+			grads.Zero()
+			if err := model.Backward(acts, dLogits, dz, grads); err != nil {
+				return nil, err
+			}
+			if err := opt.Step(model, grads); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return model, nil
+}
+
+// Aggregate implements fl.Algorithm: FedAvg for parameters, then the
+// cluster-and-average prototype rebuild from this round's participants.
+func (f *FPL) Aggregate(env *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	global, err := fl.FedAvg(parts, updates)
+	if err != nil {
+		return nil, err
+	}
+	classes := env.ModelCfg.Classes
+	zdim := env.ModelCfg.ZDim
+	// Per-class prototype sets across participants.
+	perClass := make([][][]float64, classes)
+	for i, c := range parts {
+		means, err := localClassMeans(updates[i], c)
+		if err != nil {
+			return nil, err
+		}
+		counts := countLabels(c.Labels, classes)
+		for y := 0; y < classes; y++ {
+			if counts[y] == 0 {
+				continue
+			}
+			perClass[y] = append(perClass[y], means[y])
+		}
+	}
+	protos := tensor.New(classes, zdim)
+	pd := protos.Data()
+	for y := 0; y < classes; y++ {
+		set := perClass[y]
+		if len(set) == 0 {
+			continue
+		}
+		var center []float64
+		if len(set) < 3 {
+			center = meanVecs(set)
+		} else {
+			// Cluster-then-average: FINCH over client prototypes, then
+			// average the cluster centers equally (unbiased prototype).
+			res, err := finch.Cluster(set, finch.Euclidean)
+			if err != nil {
+				return nil, err
+			}
+			part := res.Last()
+			centers := make([][]float64, part.NumClusters)
+			for cl := 0; cl < part.NumClusters; cl++ {
+				var members [][]float64
+				for i, lab := range part.Labels {
+					if lab == cl {
+						members = append(members, set[i])
+					}
+				}
+				centers[cl] = meanVecs(members)
+			}
+			center = meanVecs(centers)
+		}
+		copy(pd[y*zdim:(y+1)*zdim], center)
+	}
+	f.mu.Lock()
+	f.protos = protos
+	f.mu.Unlock()
+	return global, nil
+}
+
+func countLabels(labels []int, classes int) []int {
+	out := make([]int, classes)
+	for _, y := range labels {
+		if y >= 0 && y < classes {
+			out[y]++
+		}
+	}
+	return out
+}
+
+func meanVecs(vecs [][]float64) []float64 {
+	out := make([]float64, len(vecs[0]))
+	for _, v := range vecs {
+		for j, x := range v {
+			out[j] += x
+		}
+	}
+	inv := 1.0 / float64(len(vecs))
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+)
+
+// buildPACSScenario assembles a small PACS federation used by calibration
+// and smoke tests: train on the given domains, evaluate on valDom (seen or
+// unseen) and testDom (unseen).
+func buildPACSScenario(t *testing.T, seed uint64, trainDoms []int, testDom int, nClients int, lambda float64) (*fl.Env, []*fl.Client, *fl.EvalSet, *fl.EvalSet) {
+	t.Helper()
+	gen, err := synth.New(synth.PACSConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(seed * 1000)
+	c, h, w := enc.OutShape()
+	env := &fl.Env{
+		Enc:      enc,
+		ModelCfg: nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: 7},
+		Hyper:    fl.DefaultHyper(),
+		RNG:      src,
+	}
+	var trainDomains []*dataset.Dataset
+	for _, d := range trainDoms {
+		ds, err := gen.GenerateDomain(d, 300, "train")
+		if err != nil {
+			t.Fatal(err)
+		}
+		trainDomains = append(trainDomains, ds)
+	}
+	testDS, err := gen.GenerateDomain(testDom, 280, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Calibrate(64, trainDomains...); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.PartitionByDomain(trainDomains, partition.Options{NumClients: nClients, Lambda: lambda}, src.Stream("partition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := fl.NewEvalSet(env, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenDS, err := gen.GenerateDomain(trainDoms[0], 200, "seen-eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, err := fl.NewEvalSet(env, seenDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, clients, test, seen
+}
+
+// TestCalibrationSweep compares method variants across seeds; run manually
+// with PARDON_CALIBRATE=1 while tuning hyper-parameters.
+func TestCalibrationSweep(t *testing.T) {
+	if os.Getenv("PARDON_CALIBRATE") == "" {
+		t.Skip("set PARDON_CALIBRATE=1 to run the calibration sweep")
+	}
+	type cand struct {
+		name string
+		alg  func() fl.Algorithm
+	}
+	cands := []cand{
+		{"FedAvg", func() fl.Algorithm { return &baselines.FedAvg{} }},
+		{"FedSR", func() fl.Algorithm { return baselines.NewFedSR() }},
+		{"FedGMA", func() fl.Algorithm { return baselines.NewFedGMA() }},
+		{"FPL", func() fl.Algorithm { return baselines.NewFPL() }},
+		{"FedDG-GA", func() fl.Algorithm { return baselines.NewFedDGGA() }},
+		{"CCST", func() fl.Algorithm { return baselines.NewCCST() }},
+		{"PARDON", func() fl.Algorithm { return core.New(core.DefaultOptions()) }},
+	}
+	for _, lam := range []float64{0.0, 0.1} {
+		for _, seed := range []uint64{1, 2} {
+			// Hard direction: train Photo+Art, test Sketch. Harsh FL:
+			// N=60 clients, K=6 (10%) per round.
+			env, clients, test, seen := buildPACSScenario(t, seed, []int{0, 1}, 3, 60, lam)
+			for _, cd := range cands {
+				_, hist, err := fl.Run(env, cd.alg(), clients, seen, test, fl.RunConfig{Rounds: 30, SampleK: 6})
+				if err != nil {
+					t.Fatalf("%s: %v", cd.name, err)
+				}
+				t.Logf("lam=%.1f seed=%d %-10s seen=%.3f unseen=%.3f", lam, seed, cd.name, hist.Final().ValAcc, hist.Final().TestAcc)
+			}
+		}
+	}
+}

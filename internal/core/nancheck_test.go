@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/core"
+)
+
+func TestDiagNaN(t *testing.T) {
+	if os.Getenv("PARDON_CALIBRATE") == "" {
+		t.Skip("calibration only")
+	}
+	env, clients, _, _ := buildPACSScenario(t, 1, []int{0, 1}, 3, 20, 0.1)
+	styles := make([][]float64, len(clients))
+	for i, c := range clients {
+		sv, err := core.ClientStyle(c.Features, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		styles[i] = sv
+	}
+	sg, err := core.InterpolationStyle(styles, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSig, maxAbs := math.Inf(1), 0.0
+	nan := 0
+	for _, c := range clients {
+		tr, err := core.TransferAll(env, c.Features, sg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range tr.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				nan++
+			}
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, f := range c.Features {
+			_, sig, err := chanStats(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sig {
+				if s < minSig {
+					minSig = s
+				}
+			}
+		}
+	}
+	t.Logf("transferred: nan/inf=%d maxAbs=%.3f minFeatureSigma=%.6f sgSigmaMin=%.4f", nan, maxAbs, minSig, minFloat(sg.Sigma))
+}
+
+func minFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func chanStats(f interface {
+	Dims() int
+	Dim(int) int
+	Data() []float64
+}) ([]float64, []float64, error) {
+	c, h, w := f.Dim(0), f.Dim(1), f.Dim(2)
+	hw := h * w
+	mu := make([]float64, c)
+	sig := make([]float64, c)
+	d := f.Data()
+	for ch := 0; ch < c; ch++ {
+		m := 0.0
+		for _, v := range d[ch*hw : (ch+1)*hw] {
+			m += v
+		}
+		m /= float64(hw)
+		va := 0.0
+		for _, v := range d[ch*hw : (ch+1)*hw] {
+			va += (v - m) * (v - m)
+		}
+		mu[ch] = m
+		sig[ch] = math.Sqrt(va / float64(hw))
+	}
+	return mu, sig, nil
+}

@@ -1,0 +1,199 @@
+package dataset_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func mk(n, classes int, domain int) *dataset.Dataset {
+	ds := &dataset.Dataset{NumClasses: classes}
+	for i := 0; i < n; i++ {
+		ds.Samples = append(ds.Samples, dataset.Sample{
+			X:      tensor.Full(float64(i), 2),
+			Y:      i % classes,
+			Domain: domain,
+		})
+	}
+	return ds
+}
+
+func TestMerge(t *testing.T) {
+	a, b := mk(3, 4, 0), mk(5, 4, 1)
+	m, err := dataset.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 8 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	bad := mk(2, 7, 0)
+	if _, err := dataset.Merge(a, bad); err == nil {
+		t.Fatal("class-space mismatch should error")
+	}
+	if _, err := dataset.Merge(); err == nil {
+		t.Fatal("empty merge should error")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	ds := mk(20, 3, 0)
+	before := map[float64]int{}
+	for _, s := range ds.Samples {
+		before[s.X.Data()[0]]++
+	}
+	ds.Shuffle(rand.New(rand.NewSource(1)))
+	after := map[float64]int{}
+	for _, s := range ds.Samples {
+		after[s.X.Data()[0]]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed contents")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("shuffle changed contents")
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := mk(5, 2, 0)
+	sub, err := ds.Subset([]int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Samples[0].X.Data()[0] != 4 {
+		t.Fatalf("subset = %+v", sub.Samples)
+	}
+	if _, err := ds.Subset([]int{9}); err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+}
+
+func TestBatchesCoverAll(t *testing.T) {
+	ds := mk(10, 2, 0)
+	batches, err := ds.Batches(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	total := 0
+	for _, b := range batches {
+		total += b.Len()
+	}
+	if total != 10 {
+		t.Fatalf("covered %d samples", total)
+	}
+	if batches[2].Len() != 2 {
+		t.Fatalf("tail batch = %d", batches[2].Len())
+	}
+	if _, err := ds.Batches(0); err == nil {
+		t.Fatal("zero batch size should error")
+	}
+}
+
+func TestClassCountsAndDomains(t *testing.T) {
+	a, _ := dataset.Merge(mk(6, 3, 2), mk(3, 3, 0))
+	counts := a.ClassCounts()
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	doms := a.Domains()
+	if len(doms) != 2 || doms[0] != 0 || doms[1] != 2 {
+		t.Fatalf("domains = %v", doms)
+	}
+}
+
+func TestLODOSplits(t *testing.T) {
+	splits, err := dataset.LODOSplits(4, []string{"P", "A", "C", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 4 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	for i, sp := range splits {
+		if len(sp.Train) != 3 || len(sp.Val) != 1 || len(sp.Test) != 1 {
+			t.Fatalf("split %d sizes wrong: %+v", i, sp)
+		}
+		if sp.Val[0] != i || sp.Test[0] != i {
+			t.Fatalf("split %d holds out %d/%d, want %d", i, sp.Val[0], sp.Test[0], i)
+		}
+		for _, d := range sp.Train {
+			if d == i {
+				t.Fatalf("split %d trains on its held-out domain", i)
+			}
+		}
+	}
+	if _, err := dataset.LODOSplits(1, nil); err == nil {
+		t.Fatal("LODO with 1 domain should error")
+	}
+}
+
+func TestLTDOSplits(t *testing.T) {
+	splits, err := dataset.LTDOSplits(4, []string{"P", "A", "C", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 4 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	valSeen := map[int]bool{}
+	testSeen := map[int]bool{}
+	for _, sp := range splits {
+		if len(sp.Train) != 2 || len(sp.Val) != 1 || len(sp.Test) != 1 {
+			t.Fatalf("sizes wrong: %+v", sp)
+		}
+		// Paper pairing: test = val − 1 (mod 4).
+		if sp.Test[0] != (sp.Val[0]+3)%4 {
+			t.Fatalf("pairing val=%d test=%d", sp.Val[0], sp.Test[0])
+		}
+		valSeen[sp.Val[0]] = true
+		testSeen[sp.Test[0]] = true
+		// Train, val, test disjoint.
+		held := map[int]bool{sp.Val[0]: true, sp.Test[0]: true}
+		for _, d := range sp.Train {
+			if held[d] {
+				t.Fatalf("train overlaps holdout: %+v", sp)
+			}
+		}
+	}
+	if len(valSeen) != 4 || len(testSeen) != 4 {
+		t.Fatal("every domain should appear once as val and once as test")
+	}
+	if _, err := dataset.LTDOSplits(2, nil); err == nil {
+		t.Fatal("LTDO with 2 domains should error")
+	}
+}
+
+func TestByDomainAndSelect(t *testing.T) {
+	all, _ := dataset.Merge(mk(4, 2, 0), mk(6, 2, 1), mk(2, 2, 5))
+	byDom := all.ByDomain()
+	if len(byDom) != 3 || byDom[1].Len() != 6 {
+		t.Fatalf("byDomain = %v", byDom)
+	}
+	sel, err := dataset.SelectDomains(byDom, []int{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 6 {
+		t.Fatalf("selected %d samples", sel.Len())
+	}
+	if _, err := dataset.SelectDomains(byDom, []int{9}); err == nil {
+		t.Fatal("missing domain should error")
+	}
+}
+
+func TestCloneShallow(t *testing.T) {
+	ds := mk(3, 2, 0)
+	cp := ds.Clone()
+	cp.Samples[0].Y = 99
+	if ds.Samples[0].Y == 99 {
+		t.Fatal("clone shares the samples slice header")
+	}
+}

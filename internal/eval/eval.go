@@ -1,0 +1,255 @@
+// Package eval contains the experiment runners that regenerate every table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index):
+//
+//	Table I   — RunLTDO        (PACS & Office-Home, leave-two-domains-out)
+//	Table II  — RunLODO        (PACS & Office-Home, leave-one-domain-out)
+//	Table III — RunIWildCam    (λ sweep on the IWildCam-style corpus)
+//	Table IV  — attack.RunTable4 (style-inversion privacy metrics)
+//	Table V   — RunAblation    (PARDON v1–v5)
+//	Fig. 3    — RunConvergence (accuracy-vs-round at four λ)
+//	Fig. 4    — RunOverhead    (per-phase wall-clock)
+//	Fig. 5    — RunClientScaling (K/N sweep)
+//	Fig. 8    — RunStyleTransferComparison (PARDON vs CCST transfer outputs)
+//
+// Every runner works at two scales: Small (seconds; used by tests and the
+// benchmark harness) and Paper (the paper's client/round counts; used by
+// cmd/feddg -scale paper). Scale changes sample/round/client counts only —
+// never the structure of an experiment.
+package eval
+
+import (
+	"fmt"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Small runs in seconds; used by tests and benchmarks.
+	Small Scale = iota + 1
+	// Paper mirrors the paper's client/round counts.
+	Paper
+)
+
+// ParseScale maps the CLI flag values to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small", "":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	default:
+		return 0, fmt.Errorf("eval: unknown scale %q (want small|paper)", s)
+	}
+}
+
+// Config parameterizes a runner invocation.
+type Config struct {
+	Scale Scale
+	// Seed roots all randomness; runs with equal Seed are reproducible.
+	Seed uint64
+	// Seeds averages results over this many seeds (default 1; the tables
+	// in EXPERIMENTS.md use 2 at small scale).
+	Seeds int
+	// Parallelism bounds worker pools (0 = NumCPU).
+	Parallelism int
+}
+
+func (c Config) seeds() []uint64 {
+	n := c.Seeds
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = c.Seed + uint64(i)*1009
+	}
+	return out
+}
+
+// MethodNames lists the six compared methods in the paper's table order.
+func MethodNames() []string {
+	return []string{"FedSR", "FedGMA", "FPL", "FedDG-GA", "CCST", "PARDON"}
+}
+
+// NewAlgorithm instantiates a method by table name. PARDON ablation
+// variants are addressed as "PARDON-v1" … "PARDON-v5".
+func NewAlgorithm(name string) (fl.Algorithm, error) {
+	switch name {
+	case "FedAvg":
+		return &baselines.FedAvg{}, nil
+	case "FedSR":
+		return baselines.NewFedSR(), nil
+	case "FedGMA":
+		return baselines.NewFedGMA(), nil
+	case "FPL":
+		return baselines.NewFPL(), nil
+	case "FedDG-GA":
+		return baselines.NewFedDGGA(), nil
+	case "CCST":
+		return baselines.NewCCST(), nil
+	case "CCST-sample":
+		return baselines.NewCCSTSample(), nil
+	case "PARDON":
+		return core.New(core.DefaultOptions()), nil
+	}
+	if len(name) > 7 && name[:7] == "PARDON-" {
+		opts, err := core.VariantOptions(name[7:])
+		if err != nil {
+			return nil, err
+		}
+		return core.New(opts), nil
+	}
+	return nil, fmt.Errorf("eval: unknown method %q", name)
+}
+
+// flSizing bundles the FL-simulation knobs that vary with Scale.
+type flSizing struct {
+	NumClients int
+	SampleK    int
+	Rounds     int
+	PerDomain  int // generated samples per training domain
+	EvalPer    int // evaluation samples per held-out domain
+}
+
+// pacsSizing returns the FL dimensions for PACS/Office-Home experiments
+// (paper §IV-A: N=100, k=20%, 50 rounds).
+func pacsSizing(s Scale) flSizing {
+	if s == Paper {
+		return flSizing{NumClients: 100, SampleK: 20, Rounds: 50, PerDomain: 1200, EvalPer: 700}
+	}
+	return flSizing{NumClients: 20, SampleK: 4, Rounds: 12, PerDomain: 320, EvalPer: 260}
+}
+
+// officeHomeSizing uses more samples so 65 classes stay learnable.
+func officeHomeSizing(s Scale) flSizing {
+	if s == Paper {
+		return flSizing{NumClients: 100, SampleK: 20, Rounds: 50, PerDomain: 2600, EvalPer: 1300}
+	}
+	return flSizing{NumClients: 20, SampleK: 4, Rounds: 12, PerDomain: 650, EvalPer: 390}
+}
+
+// iwildSizing mirrors N=243, k=10%, 100 rounds at paper scale.
+type iwildSizing struct {
+	flSizing
+	NumDomains       int
+	NumClasses       int
+	ClassesPerDomain int
+}
+
+func iwildcamSizing(s Scale) iwildSizing {
+	if s == Paper {
+		return iwildSizing{
+			flSizing:   flSizing{NumClients: 243, SampleK: 24, Rounds: 100, PerDomain: 60, EvalPer: 30},
+			NumDomains: 323, NumClasses: 182, ClassesPerDomain: 12,
+		}
+	}
+	return iwildSizing{
+		flSizing:   flSizing{NumClients: 27, SampleK: 5, Rounds: 12, PerDomain: 60, EvalPer: 30},
+		NumDomains: 36, NumClasses: 30, ClassesPerDomain: 8,
+	}
+}
+
+// Scenario is a fully built federated experiment: environment, clients,
+// and evaluation sets. Clients are shared (read-only) across methods so
+// every method sees identical data, matching the paper's methodology.
+type Scenario struct {
+	Env     *fl.Env
+	Clients []*fl.Client
+	Val     *fl.EvalSet
+	Test    *fl.EvalSet
+}
+
+// buildScenario assembles a Scenario from a generator, a domain split, a
+// heterogeneity level, and FL sizing. The seed tag isolates dataset
+// randomness between schemes.
+func buildScenario(gen *synth.Generator, split dataset.Split, lambda float64, sz flSizing, seed uint64, parallelism int, tag string) (*Scenario, error) {
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	c, h, w := enc.OutShape()
+	env := &fl.Env{
+		Enc:         enc,
+		ModelCfg:    nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: gen.Config().NumClasses},
+		Hyper:       fl.DefaultHyper(),
+		RNG:         rng.New(seed).Child("scenario", tag),
+		Parallelism: parallelism,
+	}
+
+	trainDomains := make([]*dataset.Dataset, 0, len(split.Train))
+	for _, d := range split.Train {
+		ds, err := gen.GenerateDomain(d, sz.PerDomain, tag+"-train")
+		if err != nil {
+			return nil, err
+		}
+		trainDomains = append(trainDomains, ds)
+	}
+	if err := env.Calibrate(64, trainDomains...); err != nil {
+		return nil, err
+	}
+
+	parts, err := partition.PartitionByDomain(trainDomains, partition.Options{NumClients: sz.NumClients, Lambda: lambda}, env.RNG.Stream("partition"))
+	if err != nil {
+		return nil, err
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := &Scenario{Env: env, Clients: clients}
+	if len(split.Val) > 0 {
+		ds, err := generateEval(gen, split.Val, sz.EvalPer, tag+"-val")
+		if err != nil {
+			return nil, err
+		}
+		sc.Val, err = fl.NewEvalSet(env, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(split.Test) > 0 {
+		ds, err := generateEval(gen, split.Test, sz.EvalPer, tag+"-test")
+		if err != nil {
+			return nil, err
+		}
+		sc.Test, err = fl.NewEvalSet(env, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+func generateEval(gen *synth.Generator, domains []int, per int, tag string) (*dataset.Dataset, error) {
+	parts := make([]*dataset.Dataset, 0, len(domains))
+	for _, d := range domains {
+		ds, err := gen.GenerateDomain(d, per, tag)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ds)
+	}
+	return dataset.Merge(parts...)
+}
+
+// runMethod executes one method on a scenario and returns its history.
+func runMethod(sc *Scenario, method string, rounds, sampleK, evalEvery int) (*fl.History, error) {
+	alg, err := NewAlgorithm(method)
+	if err != nil {
+		return nil, err
+	}
+	_, hist, err := fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{Rounds: rounds, SampleK: sampleK, EvalEvery: evalEvery})
+	return hist, err
+}

@@ -1,0 +1,264 @@
+// Package finch implements FINCH — "Efficient Parameter-free Clustering
+// Using First Neighbor Relations" (Sarfraz, Sharma, Stiefelhagen; CVPR
+// 2019) — the clustering primitive PARDON uses at both levels of its
+// interpolation-style extraction.
+//
+// FINCH requires no hyper-parameters: each point is linked to its first
+// (nearest) neighbor, the adjacency
+//
+//	A(i,j) = 1  ⇔  j = nn(i) ∨ i = nn(j) ∨ nn(i) = nn(j)
+//
+// is formed, and the connected components of A are the first partition Γ1.
+// Recursing on cluster means yields a hierarchy Γ1, Γ2, …, ΓL of
+// successively coarser partitions until the clustering no longer shrinks.
+package finch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoPoints is returned when clustering an empty point set.
+var ErrNoPoints = errors.New("finch: no points")
+
+// Metric selects the distance used for first-neighbor computation.
+type Metric int
+
+const (
+	// Cosine distance (1 − cosine similarity). The metric the paper uses
+	// to quantify closeness between image styles (§III-B).
+	Cosine Metric = iota + 1
+	// Euclidean (squared) distance.
+	Euclidean
+)
+
+// Partition is one level of the FINCH hierarchy.
+type Partition struct {
+	// Labels assigns every input point a cluster id in [0, NumClusters).
+	// Cluster ids are dense and ordered by first appearance.
+	Labels []int
+	// NumClusters is the number of distinct clusters at this level.
+	NumClusters int
+}
+
+// Result is the full FINCH hierarchy, finest partition first.
+type Result struct {
+	Partitions []Partition
+}
+
+// Last returns the coarsest partition ΓL (smallest number of clusters).
+func (r *Result) Last() Partition {
+	return r.Partitions[len(r.Partitions)-1]
+}
+
+// First returns the finest partition Γ1.
+func (r *Result) First() Partition {
+	return r.Partitions[0]
+}
+
+// Cluster runs FINCH on row-vector points with the given metric.
+//
+// The returned hierarchy always contains at least one partition. A single
+// point yields one singleton partition; identical points merge into one
+// cluster in Γ1.
+func Cluster(points [][]float64, metric Metric) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrNoPoints
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("finch: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	if n == 1 {
+		return &Result{Partitions: []Partition{{Labels: []int{0}, NumClusters: 1}}}, nil
+	}
+
+	res := &Result{}
+	// current cluster means and the mapping from original points to the
+	// current level's clusters.
+	cur := make([][]float64, n)
+	copy(cur, points)
+	pointToCluster := make([]int, n)
+	for i := range pointToCluster {
+		pointToCluster[i] = i
+	}
+
+	for {
+		labels, k := firstNeighborPartition(cur, metric)
+		// Compose with the existing mapping to express the new partition
+		// over the original points.
+		newMapping := make([]int, n)
+		for i := 0; i < n; i++ {
+			newMapping[i] = labels[pointToCluster[i]]
+		}
+		res.Partitions = append(res.Partitions, Partition{Labels: newMapping, NumClusters: k})
+		if k <= 1 || k >= len(cur) {
+			break
+		}
+		cur = clusterMeans(points, newMapping, k, d)
+		pointToCluster = newMapping
+	}
+	return res, nil
+}
+
+// firstNeighborPartition links each point to its first neighbor and returns
+// the connected components of the first-neighbor-relation graph.
+func firstNeighborPartition(points [][]float64, metric Metric) (labels []int, numClusters int) {
+	n := len(points)
+	nn := nearestNeighbors(points, metric)
+
+	// Union-Find over the adjacency j=nn(i) ∨ i=nn(j) ∨ nn(i)=nn(j).
+	// The second condition is symmetric with the first; the third is
+	// realized by uniting every i with nn(i): if nn(i)=nn(j)=k then i,j
+	// both unite with k and are transitively connected.
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		uf.union(i, nn[i])
+	}
+
+	labels = make([]int, n)
+	remap := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		id, ok := remap[root]
+		if !ok {
+			id = len(remap)
+			remap[root] = id
+		}
+		labels[i] = id
+	}
+	return labels, len(remap)
+}
+
+// nearestNeighbors returns the index of each point's first neighbor
+// (excluding itself). Ties resolve to the lowest index, which keeps the
+// algorithm deterministic.
+func nearestNeighbors(points [][]float64, metric Metric) []int {
+	n := len(points)
+	nn := make([]int, n)
+	norms := make([]float64, n)
+	if metric == Cosine {
+		for i, p := range points {
+			norms[i] = vecNorm(p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		// Default to a self-link: points whose every distance is NaN
+		// (degenerate inputs) become singletons instead of crashing.
+		bi := i
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			var dist float64
+			switch metric {
+			case Cosine:
+				dist = cosineDistance(points[i], points[j], norms[i], norms[j])
+			default:
+				dist = squaredDistance(points[i], points[j])
+			}
+			if math.IsNaN(dist) {
+				continue
+			}
+			if dist < best {
+				best = dist
+				bi = j
+			}
+		}
+		nn[i] = bi
+	}
+	return nn
+}
+
+func clusterMeans(points [][]float64, labels []int, k, d int) [][]float64 {
+	means := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range means {
+		means[i] = make([]float64, d)
+	}
+	for i, p := range points {
+		c := labels[i]
+		counts[c]++
+		m := means[c]
+		for j, x := range p {
+			m[j] += x
+		}
+	}
+	for c, m := range means {
+		inv := 1.0 / float64(counts[c])
+		for j := range m {
+			m[j] *= inv
+		}
+	}
+	return means
+}
+
+func vecNorm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func cosineDistance(a, b []float64, na, nb float64) float64 {
+	if na == 0 || nb == 0 {
+		// Zero vectors are maximally distant from everything so they do
+		// not spuriously merge clusters.
+		return 2
+	}
+	dot := 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return 1 - dot/(na*nb)
+}
+
+func squaredDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// unionFind is a standard disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

@@ -1,0 +1,250 @@
+package finch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/pardon-feddg/pardon/internal/finch"
+)
+
+func TestSinglePoint(t *testing.T) {
+	res, err := finch.Cluster([][]float64{{1, 2}}, finch.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 1 || res.First().NumClusters != 1 {
+		t.Fatalf("partitions = %+v", res.Partitions)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := finch.Cluster(nil, finch.Euclidean); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := finch.Cluster([][]float64{{1}, {1, 2}}, finch.Euclidean); err == nil {
+		t.Fatal("ragged input should error")
+	}
+}
+
+func TestTwoPointsMerge(t *testing.T) {
+	res, err := finch.Cluster([][]float64{{0, 0}, {1, 1}}, finch.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two points are mutual first neighbors: one cluster at level 1.
+	if res.First().NumClusters != 1 {
+		t.Fatalf("two points should merge, got %d clusters", res.First().NumClusters)
+	}
+}
+
+func TestTwoBlobsEuclidean(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{10 + r.NormFloat64()*0.1, 10 + r.NormFloat64()*0.1})
+	}
+	res, err := finch.Cluster(pts, finch.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every multi-cluster level, no cluster may mix the two blobs
+	// (points 10 apart with 0.1 spread can never be first neighbors).
+	checked := false
+	for _, p := range res.Partitions {
+		if p.NumClusters < 2 {
+			continue
+		}
+		checked = true
+		for i := 0; i < 20; i++ {
+			for j := 20; j < 40; j++ {
+				if p.Labels[i] == p.Labels[j] {
+					t.Fatalf("level with %d clusters mixes the blobs", p.NumClusters)
+				}
+			}
+		}
+	}
+	if !checked {
+		t.Fatalf("no multi-cluster level; levels: %v", clusterCounts(res))
+	}
+}
+
+func TestCosineClustersByDirection(t *testing.T) {
+	// Two directions, different magnitudes — cosine must group by
+	// direction, ignoring magnitude.
+	pts := [][]float64{
+		{1, 0.01}, {5, 0.06}, {9, 0.02},
+		{0.01, 1}, {0.04, 7}, {0.03, 3},
+	}
+	res, err := finch.Cluster(pts, finch.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var two *finch.Partition
+	for i := range res.Partitions {
+		if res.Partitions[i].NumClusters == 2 {
+			two = &res.Partitions[i]
+		}
+	}
+	if two == nil {
+		t.Fatalf("no 2-cluster level; levels: %v", clusterCounts(res))
+	}
+	if two.Labels[0] != two.Labels[1] || two.Labels[1] != two.Labels[2] {
+		t.Fatal("x-direction points split")
+	}
+	if two.Labels[3] != two.Labels[4] || two.Labels[4] != two.Labels[5] {
+		t.Fatal("y-direction points split")
+	}
+	if two.Labels[0] == two.Labels[3] {
+		t.Fatal("directions merged")
+	}
+}
+
+func TestHierarchyShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	}
+	res, err := finch.Cluster(pts, finch.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := len(pts) + 1
+	for li, p := range res.Partitions {
+		if p.NumClusters >= prev {
+			t.Fatalf("level %d has %d clusters, previous %d — not shrinking", li, p.NumClusters, prev)
+		}
+		prev = p.NumClusters
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := make([][]float64, 30)
+	for i := range pts {
+		pts[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	a, err := finch.Cluster(pts, finch.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := finch.Cluster(pts, finch.Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Partitions) != len(b.Partitions) {
+		t.Fatal("nondeterministic level count")
+	}
+	for li := range a.Partitions {
+		for i := range a.Partitions[li].Labels {
+			if a.Partitions[li].Labels[i] != b.Partitions[li].Labels[i] {
+				t.Fatal("nondeterministic labels")
+			}
+		}
+	}
+}
+
+func TestIdenticalPointsMerge(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := finch.Cluster(pts, finch.Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First().NumClusters != 1 {
+		t.Fatalf("identical points split into %d clusters", res.First().NumClusters)
+	}
+}
+
+func TestZeroVectorsCosine(t *testing.T) {
+	// Zero vectors have undefined cosine; they must not crash and must
+	// not absorb everything.
+	pts := [][]float64{{0, 0}, {1, 0}, {0.9, 0.1}}
+	if _, err := finch.Cluster(pts, finch.Cosine); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNInputSurvives(t *testing.T) {
+	pts := [][]float64{{math.NaN(), 1}, {1, 0}, {0.9, 0.1}}
+	if _, err := finch.Cluster(pts, finch.Euclidean); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: labels are always dense ids in [0, NumClusters) and every
+// cluster id is used.
+func TestLabelsDenseProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		r := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := finch.Cluster(pts, finch.Euclidean)
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Partitions {
+			used := make([]bool, p.NumClusters)
+			for _, l := range p.Labels {
+				if l < 0 || l >= p.NumClusters {
+					return false
+				}
+				used[l] = true
+			}
+			for _, u := range used {
+				if !u {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coarser levels refine — two points sharing a cluster at level
+// k still share one at level k+1.
+func TestHierarchyNestedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, 25)
+		for i := range pts {
+			pts[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := finch.Cluster(pts, finch.Euclidean)
+		if err != nil {
+			return false
+		}
+		for li := 0; li+1 < len(res.Partitions); li++ {
+			cur, next := res.Partitions[li], res.Partitions[li+1]
+			for i := range pts {
+				for j := i + 1; j < len(pts); j++ {
+					if cur.Labels[i] == cur.Labels[j] && next.Labels[i] != next.Labels[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clusterCounts(res *finch.Result) []int {
+	out := make([]int, len(res.Partitions))
+	for i, p := range res.Partitions {
+		out[i] = p.NumClusters
+	}
+	return out
+}

@@ -1,0 +1,483 @@
+// Package fl is the federated-learning engine of the reproduction: the
+// client/server round structure shared by PARDON and every baseline, with
+// client sampling, parallel local training, pluggable aggregation, and the
+// phase wall-clock instrumentation behind the paper's Fig. 4.
+//
+// The engine follows the FL scheme the paper adopts from McMahan et al.
+// and SCAFFOLD: all clients share one model architecture (feature
+// extractor f + unified classifier g, see internal/nn); each round the
+// server samples K of N clients, broadcasts the global model, clients
+// train locally, and the server aggregates.
+//
+// Determinism: every stochastic choice draws from a named substream of the
+// environment's rng.Source keyed by (purpose, client, round), so runs are
+// bit-reproducible regardless of the worker pool's scheduling.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// Hyper bundles the local-training hyper-parameters shared by all methods
+// (paper §IV-A: batch size 32, 1 local epoch).
+type Hyper struct {
+	BatchSize   int
+	LocalEpochs int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+}
+
+// DefaultHyper mirrors the paper's settings with SGD constants that suit
+// the reproduction's MLP.
+func DefaultHyper() Hyper {
+	return Hyper{BatchSize: 32, LocalEpochs: 1, LR: 0.02, Momentum: 0.9, WeightDecay: 1e-4}
+}
+
+// Env is the shared execution environment of one federated run: the frozen
+// encoder, the model architecture, hyper-parameters, and the deterministic
+// randomness source.
+type Env struct {
+	Enc      *encoder.Encoder
+	ModelCfg nn.Config
+	Hyper    Hyper
+	RNG      *rng.Source
+	// Parallelism bounds the local-training worker pool; 0 means
+	// runtime.NumCPU().
+	Parallelism int
+	// FeatShift and FeatScale standardize flattened encoder features
+	// before they enter the model: x ← (x − FeatShift)·FeatScale. They
+	// are part of the publicly agreed preprocessing (like the frozen
+	// encoder itself) and are set once by Calibrate. Zero FeatScale is
+	// treated as 1 so the zero value is usable.
+	FeatShift float64
+	FeatScale float64
+}
+
+// NormalizeFeature applies the environment's fixed feature standardization
+// in place. All model inputs — client caches, eval sets, style-transferred
+// views — must pass through this so every code path sees one scale.
+func (e *Env) NormalizeFeature(data []float64) {
+	scale := e.FeatScale
+	if scale == 0 {
+		scale = 1
+	}
+	shift := e.FeatShift
+	for i := range data {
+		data[i] = (data[i] - shift) * scale
+	}
+}
+
+// Calibrate estimates FeatShift/FeatScale from up to capPer samples of
+// each provided dataset. Like the frozen encoder weights, the constants
+// are shared public preprocessing agreed before training.
+func (e *Env) Calibrate(capPer int, dss ...*dataset.Dataset) error {
+	if capPer <= 0 {
+		capPer = 64
+	}
+	var sum, sumSq float64
+	var n int
+	for _, ds := range dss {
+		limit := ds.Len()
+		if limit > capPer {
+			limit = capPer
+		}
+		for i := 0; i < limit; i++ {
+			f, err := e.Enc.Encode(ds.Samples[i].X)
+			if err != nil {
+				return fmt.Errorf("fl: calibrate: %w", err)
+			}
+			for _, v := range f.Data() {
+				sum += v
+				sumSq += v * v
+			}
+			n += f.Len()
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("fl: calibrate: no samples")
+	}
+	mean := sum / float64(n)
+	va := sumSq/float64(n) - mean*mean
+	if va < 1e-12 {
+		va = 1e-12
+	}
+	e.FeatShift = mean
+	e.FeatScale = 1.0 / sqrt(va)
+	return nil
+}
+
+// InputDim returns the flattened encoder-feature dimension models consume.
+func (e *Env) InputDim() int {
+	c, h, w := e.Enc.OutShape()
+	return c * h * w
+}
+
+// Client is one federated participant: its private raw data plus the
+// cached frozen-encoder features every method trains on. Clients are
+// read-only during training and may be shared across algorithm runs.
+type Client struct {
+	ID       int
+	Data     *dataset.Dataset
+	Features []*tensor.Tensor // Φ(x), shape (C,H,W), one per sample
+	FlatX    *tensor.Tensor   // (n, C·H·W) model inputs
+	Labels   []int
+}
+
+// NewClient encodes the client's data once and caches both the feature
+// maps (style extraction, AdaIN) and their flattened form (model input).
+func NewClient(env *Env, id int, data *dataset.Dataset) (*Client, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("fl: client %d has no data", id)
+	}
+	c := &Client{ID: id, Data: data}
+	c.Features = make([]*tensor.Tensor, data.Len())
+	c.Labels = make([]int, data.Len())
+	in := env.InputDim()
+	c.FlatX = tensor.New(data.Len(), in)
+	dst := c.FlatX.Data()
+	for i, s := range data.Samples {
+		f, err := env.Enc.Encode(s.X)
+		if err != nil {
+			return nil, fmt.Errorf("fl: client %d sample %d: %w", id, i, err)
+		}
+		c.Features[i] = f
+		row := dst[i*in : (i+1)*in]
+		copy(row, f.Data())
+		env.NormalizeFeature(row)
+		c.Labels[i] = s.Y
+	}
+	return c, nil
+}
+
+// NewClients builds clients 0..len(parts)-1 from partitioned datasets,
+// encoding in parallel.
+func NewClients(env *Env, parts []*dataset.Dataset) ([]*Client, error) {
+	clients := make([]*Client, len(parts))
+	errs := make([]error, len(parts))
+	par := env.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			clients[i], errs[i] = NewClient(env, i, parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return clients, nil
+}
+
+// Batch gathers the rows at idx into a fresh (len(idx), In) tensor plus
+// the matching labels.
+func (c *Client) Batch(idx []int) (*tensor.Tensor, []int) {
+	in := c.FlatX.Dim(1)
+	src := c.FlatX.Data()
+	out := tensor.New(len(idx), in)
+	dst := out.Data()
+	labels := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(dst[bi*in:(bi+1)*in], src[i*in:(i+1)*in])
+		labels[bi] = c.Labels[i]
+	}
+	return out, labels
+}
+
+// GatherRows copies rows at idx from an (n, d) tensor into a new batch
+// tensor; used for algorithm-side caches aligned with client sample order.
+func GatherRows(t *tensor.Tensor, idx []int) *tensor.Tensor {
+	d := t.Dim(1)
+	src := t.Data()
+	out := tensor.New(len(idx), d)
+	dst := out.Data()
+	for bi, i := range idx {
+		copy(dst[bi*d:(bi+1)*d], src[i*d:(i+1)*d])
+	}
+	return out
+}
+
+// Batches yields shuffled index batches covering [0,n).
+func Batches(n, batchSize int, r *rand.Rand) [][]int {
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	perm := r.Perm(n)
+	out := make([][]int, 0, (n+batchSize-1)/batchSize)
+	for s := 0; s < n; s += batchSize {
+		e := s + batchSize
+		if e > n {
+			e = n
+		}
+		out = append(out, perm[s:e])
+	}
+	return out
+}
+
+// EvalSet is a pre-encoded evaluation corpus (e.g. an unseen domain).
+type EvalSet struct {
+	X       *tensor.Tensor
+	Labels  []int
+	Domains []int
+}
+
+// NewEvalSet encodes an evaluation dataset once.
+func NewEvalSet(env *Env, data *dataset.Dataset) (*EvalSet, error) {
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("fl: empty evaluation set")
+	}
+	in := env.InputDim()
+	es := &EvalSet{X: tensor.New(data.Len(), in), Labels: make([]int, data.Len()), Domains: make([]int, data.Len())}
+	dst := es.X.Data()
+	for i, s := range data.Samples {
+		f, err := env.Enc.Encode(s.X)
+		if err != nil {
+			return nil, fmt.Errorf("fl: eval sample %d: %w", i, err)
+		}
+		row := dst[i*in : (i+1)*in]
+		copy(row, f.Data())
+		env.NormalizeFeature(row)
+		es.Labels[i] = s.Y
+		es.Domains[i] = s.Domain
+	}
+	return es, nil
+}
+
+// Algorithm is a federated training method. Implementations hold their own
+// per-client state keyed by Client.ID and must be safe for LocalTrain to
+// be called concurrently for distinct clients.
+type Algorithm interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Setup runs once before round 0 with access to all clients. This is
+	// where one-time signal exchange happens (PARDON's interpolation
+	// style, CCST's style banks); its cost is the "one-time cost" of the
+	// paper's Fig. 4.
+	Setup(env *Env, clients []*Client) error
+	// LocalTrain trains a copy of the global model on client c and
+	// returns it.
+	LocalTrain(env *Env, c *Client, global *nn.Model, round int) (*nn.Model, error)
+	// Aggregate merges the participants' updates into the next global
+	// model. updates[i] belongs to parts[i].
+	Aggregate(env *Env, global *nn.Model, parts []*Client, updates []*nn.Model, round int) (*nn.Model, error)
+}
+
+// FedAvg is the size-weighted parameter average (G = Σ n_i·G_i / Σ n_i)
+// that PARDON and most baselines aggregate with.
+func FedAvg(parts []*Client, updates []*nn.Model) (*nn.Model, error) {
+	if len(parts) != len(updates) {
+		return nil, fmt.Errorf("fl: %d participants vs %d updates", len(parts), len(updates))
+	}
+	weights := make([]float64, len(parts))
+	for i, c := range parts {
+		weights[i] = float64(c.Data.Len())
+	}
+	return nn.WeightedAverage(updates, weights)
+}
+
+// RoundStats records the evaluation snapshot after one round.
+type RoundStats struct {
+	Round   int
+	ValAcc  float64
+	TestAcc float64
+}
+
+// Timing breaks down wall-clock per phase (Fig. 4): Setup is the one-time
+// cost; LocalTrain sums client-local training time (with counts to derive
+// the per-client average); Aggregate sums server aggregation time.
+type Timing struct {
+	Setup           time.Duration
+	LocalTrain      time.Duration
+	LocalTrainCount int
+	Aggregate       time.Duration
+	AggregateCount  int
+}
+
+// AvgLocalTrain returns mean local-training time per client per round.
+func (t Timing) AvgLocalTrain() time.Duration {
+	if t.LocalTrainCount == 0 {
+		return 0
+	}
+	return t.LocalTrain / time.Duration(t.LocalTrainCount)
+}
+
+// AvgAggregate returns mean aggregation time per round.
+func (t Timing) AvgAggregate() time.Duration {
+	if t.AggregateCount == 0 {
+		return 0
+	}
+	return t.Aggregate / time.Duration(t.AggregateCount)
+}
+
+// History is the full trace of one federated run.
+type History struct {
+	Stats  []RoundStats
+	Timing Timing
+}
+
+// Final returns the last recorded round stats (zero value if none).
+func (h *History) Final() RoundStats {
+	if len(h.Stats) == 0 {
+		return RoundStats{}
+	}
+	return h.Stats[len(h.Stats)-1]
+}
+
+// RunConfig controls one federated run.
+type RunConfig struct {
+	Rounds int
+	// SampleK clients participate per round (clamped to [1, N]).
+	SampleK int
+	// EvalEvery evaluates every that-many rounds (and always on the last
+	// round). 0 means only the last round.
+	EvalEvery int
+}
+
+// Run executes a federated training run and returns the final global model
+// and its history. val and test may be nil to skip that evaluation.
+//
+// Client sampling uses a stream keyed only by round — NOT by algorithm —
+// so all methods see identical participant schedules, matching the paper's
+// controlled overhead/accuracy comparisons.
+func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg RunConfig) (*nn.Model, *History, error) {
+	if len(clients) == 0 {
+		return nil, nil, fmt.Errorf("fl: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, nil, fmt.Errorf("fl: rounds %d", cfg.Rounds)
+	}
+	global, err := nn.New(env.ModelCfg, env.RNG.Stream("model-init"))
+	if err != nil {
+		return nil, nil, err
+	}
+	hist := &History{}
+
+	setupStart := time.Now()
+	if err := alg.Setup(env, clients); err != nil {
+		return nil, nil, fmt.Errorf("fl: %s setup: %w", alg.Name(), err)
+	}
+	hist.Timing.Setup = time.Since(setupStart)
+
+	par := env.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		ids := partition.SampleClients(len(clients), cfg.SampleK, env.RNG.StreamI("client-sampling", round))
+		parts := make([]*Client, len(ids))
+		for i, id := range ids {
+			parts[i] = clients[id]
+		}
+
+		updates := make([]*nn.Model, len(parts))
+		errs := make([]error, len(parts))
+		durs := make([]time.Duration, len(parts))
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i, c := range parts {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t0 := time.Now()
+				updates[i], errs[i] = alg.LocalTrain(env, c, global, round)
+				durs[i] = time.Since(t0)
+			}(i, c)
+		}
+		wg.Wait()
+		for i, e := range errs {
+			if e != nil {
+				return nil, nil, fmt.Errorf("fl: %s round %d client %d: %w", alg.Name(), round, parts[i].ID, e)
+			}
+			hist.Timing.LocalTrain += durs[i]
+			hist.Timing.LocalTrainCount++
+		}
+
+		aggStart := time.Now()
+		global, err = alg.Aggregate(env, global, parts, updates, round)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: %s round %d aggregate: %w", alg.Name(), round, err)
+		}
+		hist.Timing.Aggregate += time.Since(aggStart)
+		hist.Timing.AggregateCount++
+
+		last := round == cfg.Rounds-1
+		if last || (cfg.EvalEvery > 0 && (round+1)%cfg.EvalEvery == 0) {
+			rs := RoundStats{Round: round + 1}
+			if val != nil {
+				rs.ValAcc, err = accuracyOn(global, val)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if test != nil {
+				rs.TestAcc, err = accuracyOn(global, test)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			hist.Stats = append(hist.Stats, rs)
+		}
+	}
+	return global, hist, nil
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+func accuracyOn(m *nn.Model, es *EvalSet) (float64, error) {
+	n := es.X.Dim(0)
+	d := es.X.Dim(1)
+	data := es.X.Data()
+	correct := 0
+	const batch = 128
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		bt := tensor.MustFromSlice(data[start*d:end*d], end-start, d)
+		acts, err := m.Forward(bt)
+		if err != nil {
+			return 0, err
+		}
+		c := acts.Logits.Dim(1)
+		ld := acts.Logits.Data()
+		for i := 0; i < end-start; i++ {
+			row := ld[i*c : (i+1)*c]
+			best, bi := row[0], 0
+			for j, v := range row {
+				if v > best {
+					best, bi = v, j
+				}
+			}
+			if bi == es.Labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n), nil
+}

@@ -1,0 +1,279 @@
+package fl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func testEnv(t *testing.T) (*fl.Env, *synth.Generator) {
+	t.Helper()
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := synth.New(synth.PACSConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := enc.OutShape()
+	return &fl.Env{
+		Enc:      enc,
+		ModelCfg: nn.Config{In: c * h * w, Hidden: 16, ZDim: 8, Classes: 7},
+		Hyper:    fl.DefaultHyper(),
+		RNG:      rng.New(77),
+	}, gen
+}
+
+func TestNewClientCachesFeatures(t *testing.T) {
+	env, gen := testEnv(t)
+	ds, err := gen.GenerateDomain(0, 12, "fl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := fl.NewClient(env, 3, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != 3 || len(c.Features) != 12 || c.FlatX.Dim(0) != 12 {
+		t.Fatalf("client = %+v", c)
+	}
+	if c.FlatX.Dim(1) != env.InputDim() {
+		t.Fatalf("flat width = %d", c.FlatX.Dim(1))
+	}
+	if len(c.Labels) != 12 {
+		t.Fatal("labels missing")
+	}
+	if _, err := fl.NewClient(env, 0, &dataset.Dataset{NumClasses: 7}); err == nil {
+		t.Fatal("empty client should error")
+	}
+}
+
+func TestCalibrateNormalizes(t *testing.T) {
+	env, gen := testEnv(t)
+	ds, err := gen.GenerateDomain(0, 40, "cal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Calibrate(32, ds); err != nil {
+		t.Fatal(err)
+	}
+	if env.FeatScale == 0 || env.FeatScale == 1 {
+		t.Fatalf("calibration did not set scale: %g", env.FeatScale)
+	}
+	c, err := fl.NewClient(env, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized inputs should be roughly zero-mean unit-variance.
+	m := c.FlatX.Mean()
+	if m < -0.5 || m > 0.5 {
+		t.Fatalf("normalized mean = %g", m)
+	}
+	if err := (&fl.Env{Enc: env.Enc}).Calibrate(8); err == nil {
+		t.Fatal("calibrate with no data should error")
+	}
+}
+
+func TestBatchesCoverAllIndices(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	batches := fl.Batches(10, 3, r)
+	seen := map[int]bool{}
+	for _, b := range batches {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatal("index repeated")
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d of 10", len(seen))
+	}
+}
+
+func TestClientBatchGather(t *testing.T) {
+	env, gen := testEnv(t)
+	ds, _ := gen.GenerateDomain(1, 8, "batch")
+	c, err := fl.NewClient(env, 0, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := c.Batch([]int{2, 5})
+	if x.Dim(0) != 2 || len(y) != 2 {
+		t.Fatalf("batch shapes %v %v", x.Shape(), y)
+	}
+	if y[0] != c.Labels[2] || y[1] != c.Labels[5] {
+		t.Fatal("labels misaligned")
+	}
+	in := c.FlatX.Dim(1)
+	for j := 0; j < in; j++ {
+		if x.At(0, j) != c.FlatX.At(2, j) {
+			t.Fatal("row content misaligned")
+		}
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	src := tensor.MustFromSlice([]float64{1, 2, 3, 4, 5, 6}, 3, 2)
+	out := fl.GatherRows(src, []int{2, 0})
+	if out.At(0, 0) != 5 || out.At(1, 1) != 2 {
+		t.Fatalf("gather = %v", out)
+	}
+}
+
+func TestFedAvgWeighting(t *testing.T) {
+	env, gen := testEnv(t)
+	dsA, _ := gen.GenerateDomain(0, 30, "a")
+	dsB, _ := gen.GenerateDomain(0, 10, "b")
+	ca, _ := fl.NewClient(env, 0, dsA)
+	cb, _ := fl.NewClient(env, 1, dsB)
+	ma, _ := nn.New(env.ModelCfg, rand.New(rand.NewSource(1)))
+	mb, _ := nn.New(env.ModelCfg, rand.New(rand.NewSource(2)))
+	avg, err := fl.FedAvg([]*fl.Client{ca, cb}, []*nn.Model{ma, mb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75*ma.W1.Data()[0] + 0.25*mb.W1.Data()[0]
+	if diff := avg.W1.Data()[0] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("fedavg = %g, want %g", avg.W1.Data()[0], want)
+	}
+	if _, err := fl.FedAvg([]*fl.Client{ca}, nil); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// countingAlg records which clients trained in which round.
+type countingAlg struct {
+	mu     chan struct{}
+	rounds map[int][]int
+}
+
+func newCountingAlg() *countingAlg {
+	return &countingAlg{mu: make(chan struct{}, 1), rounds: map[int][]int{}}
+}
+
+func (a *countingAlg) Name() string                      { return "counting" }
+func (a *countingAlg) Setup(*fl.Env, []*fl.Client) error { return nil }
+func (a *countingAlg) LocalTrain(env *fl.Env, c *fl.Client, g *nn.Model, round int) (*nn.Model, error) {
+	a.mu <- struct{}{}
+	a.rounds[round] = append(a.rounds[round], c.ID)
+	<-a.mu
+	return g.Clone(), nil
+}
+func (a *countingAlg) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return fl.FedAvg(parts, updates)
+}
+
+func TestRunSamplesKClientsPerRound(t *testing.T) {
+	env, gen := testEnv(t)
+	var parts []*dataset.Dataset
+	for i := 0; i < 6; i++ {
+		ds, err := gen.GenerateDomain(i%2, 10, "run")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ds)
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newCountingAlg()
+	_, hist, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 4, SampleK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, ids := range alg.rounds {
+		if len(ids) != 2 {
+			t.Fatalf("round %d trained %d clients, want 2", round, len(ids))
+		}
+	}
+	if hist.Timing.LocalTrainCount != 8 {
+		t.Fatalf("local train count = %d, want 8", hist.Timing.LocalTrainCount)
+	}
+	if hist.Timing.AggregateCount != 4 {
+		t.Fatalf("aggregate count = %d", hist.Timing.AggregateCount)
+	}
+	if len(hist.Stats) != 1 {
+		t.Fatalf("EvalEvery=0 should record only the final round, got %d", len(hist.Stats))
+	}
+}
+
+func TestRunClientSamplingDeterministicAcrossAlgorithms(t *testing.T) {
+	env, gen := testEnv(t)
+	var parts []*dataset.Dataset
+	for i := 0; i < 5; i++ {
+		ds, _ := gen.GenerateDomain(0, 8, "det")
+		parts = append(parts, ds)
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := newCountingAlg()
+	a2 := newCountingAlg()
+	if _, _, err := fl.Run(env, a1, clients, nil, nil, fl.RunConfig{Rounds: 3, SampleK: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fl.Run(env, a2, clients, nil, nil, fl.RunConfig{Rounds: 3, SampleK: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		ids1, ids2 := a1.rounds[round], a2.rounds[round]
+		m := map[int]bool{}
+		for _, id := range ids1 {
+			m[id] = true
+		}
+		for _, id := range ids2 {
+			if !m[id] {
+				t.Fatalf("round %d participant sets differ between runs", round)
+			}
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	env, gen := testEnv(t)
+	ds, _ := gen.GenerateDomain(0, 10, "err")
+	clients, _ := fl.NewClients(env, []*dataset.Dataset{ds})
+	alg := newCountingAlg()
+	if _, _, err := fl.Run(env, alg, nil, nil, nil, fl.RunConfig{Rounds: 1, SampleK: 1}); err == nil {
+		t.Fatal("no clients should error")
+	}
+	if _, _, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 0, SampleK: 1}); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+}
+
+func TestEvalSet(t *testing.T) {
+	env, gen := testEnv(t)
+	ds, _ := gen.GenerateDomain(2, 9, "eval")
+	es, err := fl.NewEvalSet(env, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.X.Dim(0) != 9 || len(es.Labels) != 9 || len(es.Domains) != 9 {
+		t.Fatal("eval set misbuilt")
+	}
+	if es.Domains[0] != 2 {
+		t.Fatal("domain tags missing")
+	}
+	if _, err := fl.NewEvalSet(env, &dataset.Dataset{NumClasses: 7}); err == nil {
+		t.Fatal("empty eval set should error")
+	}
+}
+
+func TestTimingAverages(t *testing.T) {
+	var tm fl.Timing
+	if tm.AvgLocalTrain() != 0 || tm.AvgAggregate() != 0 {
+		t.Fatal("zero-count averages should be 0")
+	}
+}

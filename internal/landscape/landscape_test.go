@@ -1,0 +1,135 @@
+package landscape_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/landscape"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func setup(t *testing.T) (*fl.Env, []*fl.Client, *nn.Model) {
+	t.Helper()
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := synth.New(synth.PACSConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := enc.OutShape()
+	env := &fl.Env{
+		Enc:      enc,
+		ModelCfg: nn.Config{In: c * h * w, Hidden: 8, ZDim: 4, Classes: 7},
+		Hyper:    fl.DefaultHyper(),
+		RNG:      rng.New(31),
+	}
+	ds, err := gen.GenerateDomain(0, 20, "ls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := fl.NewClients(env, []*dataset.Dataset{ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.New(env.ModelCfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, clients, m
+}
+
+func TestLossSurfaceGrid(t *testing.T) {
+	_, clients, m := setup(t)
+	grid, err := landscape.LossSurface(m, clients, 5, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Loss) != 5 || len(grid.Loss[0]) != 5 {
+		t.Fatalf("grid %dx%d", len(grid.Loss), len(grid.Loss[0]))
+	}
+	// Even step counts are rounded up to keep a center point.
+	grid2, err := landscape.LossSurface(m, clients, 4, 0.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid2.Loss)%2 == 0 {
+		t.Fatal("even grid has no center")
+	}
+	_ = grid.Sharpness() // must not panic
+	csv := grid.CSV()
+	if !strings.HasPrefix(csv, "x,y,loss\n") {
+		t.Fatal("bad CSV header")
+	}
+	if strings.Count(csv, "\n") != 26 {
+		t.Fatalf("csv rows = %d", strings.Count(csv, "\n"))
+	}
+}
+
+func TestLossSurfaceDeterministic(t *testing.T) {
+	_, clients, m := setup(t)
+	g1, err := landscape.LossSurface(m, clients, 3, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := landscape.LossSurface(m, clients, 3, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Loss {
+		for j := range g1.Loss[i] {
+			if g1.Loss[i][j] != g2.Loss[i][j] {
+				t.Fatal("surface not deterministic")
+			}
+		}
+	}
+}
+
+func TestSeparationScore(t *testing.T) {
+	env, _, m := setup(t)
+	_ = env
+	// Construct an eval set directly in embedding-friendly input space:
+	// two classes with well-separated inputs give a higher score than
+	// shuffled labels.
+	r := rand.New(rand.NewSource(2))
+	n := 40
+	in := m.Cfg.In
+	x := tensor.New(n, in)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		base := 0.0
+		if i%2 == 1 {
+			base = 3.0
+		}
+		labels[i] = i % 2
+		row := x.Data()[i*in : (i+1)*in]
+		for j := range row {
+			row[j] = base + r.NormFloat64()*0.1
+		}
+	}
+	es := &fl.EvalSet{X: x, Labels: labels, Domains: make([]int, n)}
+	sepGood, err := landscape.SeparationScore(m, es, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffled labels destroy separation.
+	shuffled := make([]int, n)
+	copy(shuffled, labels)
+	r.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	esBad := &fl.EvalSet{X: x, Labels: shuffled, Domains: make([]int, n)}
+	sepBad, err := landscape.SeparationScore(m, esBad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sepGood <= sepBad {
+		t.Fatalf("separation %g should exceed shuffled %g", sepGood, sepBad)
+	}
+}

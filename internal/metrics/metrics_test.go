@@ -1,0 +1,114 @@
+package metrics_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/metrics"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func identModel(t *testing.T) *nn.Model {
+	t.Helper()
+	// 2-in, 2-class model rigged so logits ≈ inputs: prediction = argmax x.
+	m, err := nn.New(nn.Config{In: 2, Hidden: 2, ZDim: 2, Classes: 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(tt *tensor.Tensor, vals ...float64) { copy(tt.Data(), vals) }
+	set(m.W1, 1, 0, 0, 1)
+	set(m.B1, 0, 0)
+	set(m.W2, 1, 0, 0, 1)
+	set(m.B2, 0, 0)
+	set(m.WC, 1, 0, 0, 1)
+	set(m.BC, 0, 0)
+	return m
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	m := identModel(t)
+	x := tensor.MustFromSlice([]float64{
+		2, 1, // class 0
+		1, 3, // class 1
+		5, 0, // class 0
+	}, 3, 2)
+	preds, err := metrics.Predict(m, x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Fatalf("pred[%d] = %d, want %d", i, preds[i], want[i])
+		}
+	}
+	acc, err := metrics.Accuracy(m, x, []int{0, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %g", acc)
+	}
+	if _, err := metrics.Accuracy(m, x, []int{0}, 2); err == nil {
+		t.Fatal("label count mismatch should error")
+	}
+}
+
+func TestPredictBatchingConsistent(t *testing.T) {
+	m := identModel(t)
+	r := rand.New(rand.NewSource(2))
+	x := tensor.Randn(r, 1, 17, 2)
+	p1, err := metrics.Predict(m, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := metrics.Predict(m, x, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("batch size changed predictions")
+		}
+	}
+}
+
+func TestPerDomainAccuracy(t *testing.T) {
+	m := identModel(t)
+	x := tensor.MustFromSlice([]float64{2, 1, 1, 3, 5, 0, 0, 5}, 4, 2)
+	labels := []int{0, 1, 1, 1}
+	domains := []int{7, 7, 9, 9}
+	per, err := metrics.PerDomainAccuracy(m, x, labels, domains, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if per[7] != 1.0 {
+		t.Fatalf("domain 7 acc = %g", per[7])
+	}
+	if per[9] != 0.5 {
+		t.Fatalf("domain 9 acc = %g", per[9])
+	}
+}
+
+func TestPosteriorsRowsSumToOne(t *testing.T) {
+	m := identModel(t)
+	x := tensor.Randn(rand.New(rand.NewSource(3)), 2, 9, 2)
+	post, err := metrics.Posteriors(m, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(post) != 9 {
+		t.Fatalf("posterior count %d", len(post))
+	}
+	for i, row := range post {
+		s := 0.0
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}

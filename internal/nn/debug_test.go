@@ -1,0 +1,120 @@
+package nn_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// TestCentralizedLearning sanity-checks the whole input pipeline: encode a
+// single synthetic domain, train the MLP centrally, expect it to fit.
+func TestCentralizedLearning(t *testing.T) {
+	gen, err := synth.New(synth.PACSConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := gen.GenerateDomain(0, 210, "central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := enc.OutShape()
+	in := c * h * w
+	n := ds.Len()
+	x := tensor.New(n, in)
+	labels := make([]int, n)
+	var sum, sumSq float64
+	for i, s := range ds.Samples {
+		f, err := enc.Encode(s.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(x.Data()[i*in:(i+1)*in], f.Data())
+		labels[i] = s.Y
+		for _, v := range f.Data() {
+			sum += v
+			sumSq += v * v
+		}
+	}
+	mean := sum / float64(n*in)
+	std := math.Sqrt(sumSq/float64(n*in) - mean*mean)
+	t.Logf("feature mean=%.4f std=%.4f", mean, std)
+	// Standardize inputs the way fl.Env.Calibrate does for real runs.
+	xd := x.Data()
+	for i := range xd {
+		xd[i] = (xd[i] - mean) / std
+	}
+
+	r := rng.New(9).Stream("init")
+	m, err := nn.New(nn.Config{In: in, Hidden: 64, ZDim: 32, Classes: 7}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := nn.NewSGD(0.02, 0.9, 1e-4)
+	grads := m.NewGrads()
+	batch := 32
+	for epoch := 0; epoch < 30; epoch++ {
+		totalLoss := 0.0
+		nb := 0
+		for s := 0; s < n; s += batch {
+			e := s + batch
+			if e > n {
+				e = n
+			}
+			xb := tensor.MustFromSlice(x.Data()[s*in:e*in], e-s, in)
+			acts, err := m.Forward(xb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, dl, err := loss.CrossEntropy(acts.Logits, labels[s:e])
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalLoss += l
+			nb++
+			grads.Zero()
+			if err := m.Backward(acts, dl, nil, grads); err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.Step(m, grads); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if epoch%10 == 0 {
+			t.Logf("epoch %d loss %.4f", epoch, totalLoss/float64(nb))
+		}
+	}
+	// Final train accuracy.
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	ld := acts.Logits.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*7 : (i+1)*7]
+		best, bi := row[0], 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	t.Logf("train acc %.3f", acc)
+	if acc < 0.8 {
+		t.Errorf("centralized training failed to fit: %.3f", acc)
+	}
+}

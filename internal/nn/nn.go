@@ -1,0 +1,368 @@
+// Package nn implements the trainable model shared by every FedDG method
+// in the reproduction: a two-layer MLP feature extractor f: X → Z over
+// frozen-encoder features, plus a linear unified classifier g: Z → logits,
+// exactly the f/g decomposition of the paper's §III-B. Training is manual
+// backprop with SGD (momentum + weight decay).
+//
+// The package also provides the parameter-space operations federated
+// algorithms need: deep cloning, weighted averaging (FedAvg), and flat
+// parameter vectors (FedGMA's sign masks).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// Config describes the model architecture.
+type Config struct {
+	In      int // flattened encoder-feature dimension
+	Hidden  int // hidden width of the feature extractor
+	ZDim    int // embedding dimension (the space losses operate in)
+	Classes int // output classes
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.In <= 0 || c.Hidden <= 0 || c.ZDim <= 0 || c.Classes <= 0 {
+		return fmt.Errorf("nn: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Model is feature extractor (W1,B1 → ReLU → W2,B2) + classifier (WC,BC).
+type Model struct {
+	Cfg Config
+	W1  *tensor.Tensor // (In, Hidden)
+	B1  *tensor.Tensor // (Hidden)
+	W2  *tensor.Tensor // (Hidden, ZDim)
+	B2  *tensor.Tensor // (ZDim)
+	WC  *tensor.Tensor // (ZDim, Classes)
+	BC  *tensor.Tensor // (Classes)
+}
+
+// New initializes a model with He-scaled weights drawn from r.
+func New(cfg Config, r *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Cfg: cfg}
+	m.W1 = tensor.Randn(r, math.Sqrt(2.0/float64(cfg.In)), cfg.In, cfg.Hidden)
+	m.B1 = tensor.New(cfg.Hidden)
+	m.W2 = tensor.Randn(r, math.Sqrt(2.0/float64(cfg.Hidden)), cfg.Hidden, cfg.ZDim)
+	m.B2 = tensor.New(cfg.ZDim)
+	// The classifier starts near zero so initial logits are ~uniform and
+	// the first cross-entropy step is well-conditioned (loss ≈ ln C).
+	m.WC = tensor.Randn(r, 0.01, cfg.ZDim, cfg.Classes)
+	m.BC = tensor.New(cfg.Classes)
+	return m, nil
+}
+
+// Params returns the parameter tensors in canonical order.
+func (m *Model) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{m.W1, m.B1, m.W2, m.B2, m.WC, m.BC}
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	return &Model{
+		Cfg: m.Cfg,
+		W1:  m.W1.Clone(), B1: m.B1.Clone(),
+		W2: m.W2.Clone(), B2: m.B2.Clone(),
+		WC: m.WC.Clone(), BC: m.BC.Clone(),
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Len()
+	}
+	return n
+}
+
+// ParamVector flattens all parameters into one vector (canonical order).
+func (m *Model) ParamVector() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Data()...)
+	}
+	return out
+}
+
+// SetParamVector writes a flat vector (from ParamVector of a same-config
+// model) back into the parameters.
+func (m *Model) SetParamVector(v []float64) error {
+	if len(v) != m.NumParams() {
+		return fmt.Errorf("nn: param vector length %d, want %d", len(v), m.NumParams())
+	}
+	off := 0
+	for _, p := range m.Params() {
+		copy(p.Data(), v[off:off+p.Len()])
+		off += p.Len()
+	}
+	return nil
+}
+
+// Activations caches a forward pass for backprop.
+type Activations struct {
+	X      *tensor.Tensor // (B, In)
+	HPre   *tensor.Tensor // (B, Hidden) pre-ReLU
+	H      *tensor.Tensor // (B, Hidden)
+	Z      *tensor.Tensor // (B, ZDim) embedding
+	Logits *tensor.Tensor // (B, Classes)
+}
+
+// Forward runs the full model on a batch X of shape (B, In).
+func (m *Model) Forward(x *tensor.Tensor) (*Activations, error) {
+	if x.Dims() != 2 || x.Dim(1) != m.Cfg.In {
+		return nil, fmt.Errorf("nn: input shape %v, want (B,%d)", x.Shape(), m.Cfg.In)
+	}
+	hPre, err := tensor.MatMul(x, m.W1)
+	if err != nil {
+		return nil, err
+	}
+	addRowVector(hPre, m.B1)
+	h := hPre.Clone().Apply(relu)
+	z, err := tensor.MatMul(h, m.W2)
+	if err != nil {
+		return nil, err
+	}
+	addRowVector(z, m.B2)
+	logits, err := tensor.MatMul(z, m.WC)
+	if err != nil {
+		return nil, err
+	}
+	addRowVector(logits, m.BC)
+	return &Activations{X: x, HPre: hPre, H: h, Z: z, Logits: logits}, nil
+}
+
+// Embed returns only the embedding Z for a batch (no classifier).
+func (m *Model) Embed(x *tensor.Tensor) (*tensor.Tensor, error) {
+	acts, err := m.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return acts.Z, nil
+}
+
+// Grads accumulates parameter gradients; layout mirrors Model.
+type Grads struct {
+	W1, B1, W2, B2, WC, BC *tensor.Tensor
+}
+
+// NewGrads allocates zeroed gradients for m.
+func (m *Model) NewGrads() *Grads {
+	return &Grads{
+		W1: tensor.New(m.Cfg.In, m.Cfg.Hidden), B1: tensor.New(m.Cfg.Hidden),
+		W2: tensor.New(m.Cfg.Hidden, m.Cfg.ZDim), B2: tensor.New(m.Cfg.ZDim),
+		WC: tensor.New(m.Cfg.ZDim, m.Cfg.Classes), BC: tensor.New(m.Cfg.Classes),
+	}
+}
+
+// Zero resets all gradient accumulators.
+func (g *Grads) Zero() {
+	for _, t := range []*tensor.Tensor{g.W1, g.B1, g.W2, g.B2, g.WC, g.BC} {
+		t.Zero()
+	}
+}
+
+// Params returns gradient tensors in the same canonical order as
+// Model.Params.
+func (g *Grads) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{g.W1, g.B1, g.W2, g.B2, g.WC, g.BC}
+}
+
+// Backward accumulates gradients for a cached forward pass into grads.
+// dLogits is the loss gradient at the logits (may be nil when the pass
+// contributes only embedding-space losses); dZExtra is an additional
+// gradient injected directly at the embedding (triplet, regularizer,
+// prototype losses), also optional.
+func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, grads *Grads) error {
+	b := acts.X.Dim(0)
+	var dZ *tensor.Tensor
+	if dLogits != nil {
+		if dLogits.Dim(0) != b || dLogits.Dim(1) != m.Cfg.Classes {
+			return fmt.Errorf("nn: dLogits shape %v, want (%d,%d)", dLogits.Shape(), b, m.Cfg.Classes)
+		}
+		// Classifier grads.
+		gWC, err := tensor.MatMulATB(acts.Z, dLogits)
+		if err != nil {
+			return err
+		}
+		if err := grads.WC.AddInPlace(gWC); err != nil {
+			return err
+		}
+		addColumnSums(grads.BC, dLogits)
+		dZ, err = tensor.MatMulABT(dLogits, m.WC)
+		if err != nil {
+			return err
+		}
+	} else {
+		dZ = tensor.New(b, m.Cfg.ZDim)
+	}
+	if dZExtra != nil {
+		if err := dZ.AddInPlace(dZExtra); err != nil {
+			return fmt.Errorf("nn: dZExtra: %w", err)
+		}
+	}
+	// Layer 2.
+	gW2, err := tensor.MatMulATB(acts.H, dZ)
+	if err != nil {
+		return err
+	}
+	if err := grads.W2.AddInPlace(gW2); err != nil {
+		return err
+	}
+	addColumnSums(grads.B2, dZ)
+	dH, err := tensor.MatMulABT(dZ, m.W2)
+	if err != nil {
+		return err
+	}
+	// ReLU gate.
+	hp := acts.HPre.Data()
+	dh := dH.Data()
+	for i := range dh {
+		if hp[i] <= 0 {
+			dh[i] = 0
+		}
+	}
+	// Layer 1.
+	gW1, err := tensor.MatMulATB(acts.X, dH)
+	if err != nil {
+		return err
+	}
+	if err := grads.W1.AddInPlace(gW1); err != nil {
+		return err
+	}
+	addColumnSums(grads.B1, dH)
+	return nil
+}
+
+// SGD is a momentum SGD optimizer with decoupled weight decay and
+// optional global-norm gradient clipping.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// Clip bounds the global gradient norm before the update (0 = off).
+	Clip float64
+	vel  []*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer for one model instance. Clipping is off
+// by default; set Clip explicitly.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step applies one update: v ← m·v − lr·(g + wd·θ); θ ← θ + v.
+func (s *SGD) Step(m *Model, g *Grads) error {
+	params := m.Params()
+	gp := g.Params()
+	if s.vel == nil {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Shape()...)
+		}
+	}
+	if s.Clip > 0 {
+		total := 0.0
+		for _, gt := range gp {
+			for _, v := range gt.Data() {
+				total += v * v
+			}
+		}
+		if norm := math.Sqrt(total); norm > s.Clip {
+			scale := s.Clip / norm
+			for _, gt := range gp {
+				gt.Scale(scale)
+			}
+		}
+	}
+	for i, p := range params {
+		pd, gd, vd := p.Data(), gp[i].Data(), s.vel[i].Data()
+		if len(pd) != len(gd) {
+			return fmt.Errorf("nn: sgd param %d size mismatch %d vs %d", i, len(pd), len(gd))
+		}
+		for j := range pd {
+			vd[j] = s.Momentum*vd[j] - s.LR*(gd[j]+s.WeightDecay*pd[j])
+			pd[j] += vd[j]
+		}
+	}
+	return nil
+}
+
+// WeightedAverage returns the FedAvg combination Σ w_i·model_i of models
+// with the same configuration. Weights are normalized internally.
+func WeightedAverage(models []*Model, weights []float64) (*Model, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("nn: average of zero models")
+	}
+	if len(weights) != len(models) {
+		return nil, fmt.Errorf("nn: %d weights for %d models", len(weights), len(models))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("nn: negative weight %g", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("nn: zero total weight")
+	}
+	out := models[0].Clone()
+	for _, p := range out.Params() {
+		p.Zero()
+	}
+	for i, m := range models {
+		if m.Cfg != out.Cfg {
+			return nil, fmt.Errorf("nn: model %d config %+v differs from %+v", i, m.Cfg, out.Cfg)
+		}
+		w := weights[i] / total
+		op := out.Params()
+		for pi, p := range m.Params() {
+			if err := op[pi].AddScaled(w, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func relu(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// addRowVector adds a length-n vector to every row of an (m,n) tensor.
+func addRowVector(t *tensor.Tensor, v *tensor.Tensor) {
+	rows, cols := t.Dim(0), t.Dim(1)
+	td, vd := t.Data(), v.Data()
+	for i := 0; i < rows; i++ {
+		row := td[i*cols : (i+1)*cols]
+		for j := range row {
+			row[j] += vd[j]
+		}
+	}
+}
+
+// addColumnSums adds the column sums of a (m,n) tensor into a length-n
+// accumulator (bias gradients).
+func addColumnSums(acc *tensor.Tensor, t *tensor.Tensor) {
+	rows, cols := t.Dim(0), t.Dim(1)
+	td, ad := t.Data(), acc.Data()
+	for i := 0; i < rows; i++ {
+		row := td[i*cols : (i+1)*cols]
+		for j := range row {
+			ad[j] += row[j]
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package nn_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func smallModel(t *testing.T, seed int64) *nn.Model {
+	t.Helper()
+	m, err := nn.New(nn.Config{In: 6, Hidden: 5, ZDim: 4, Classes: 3}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := nn.New(nn.Config{In: 0, Hidden: 1, ZDim: 1, Classes: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid config should error")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	m := smallModel(t, 1)
+	x := tensor.Randn(rand.New(rand.NewSource(2)), 1, 7, 6)
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts.Z.Dim(0) != 7 || acts.Z.Dim(1) != 4 {
+		t.Fatalf("Z shape %v", acts.Z.Shape())
+	}
+	if acts.Logits.Dim(1) != 3 {
+		t.Fatalf("logits shape %v", acts.Logits.Shape())
+	}
+	if _, err := m.Forward(tensor.New(2, 9)); err == nil {
+		t.Fatal("wrong input width should error")
+	}
+}
+
+// The decisive test of the training stack: analytic gradients of the full
+// CE loss must match central finite differences for every parameter.
+func TestBackwardMatchesFiniteDifferences(t *testing.T) {
+	m := smallModel(t, 3)
+	r := rand.New(rand.NewSource(4))
+	x := tensor.Randn(r, 1, 5, 6)
+	labels := []int{0, 2, 1, 1, 0}
+
+	lossAt := func() float64 {
+		acts, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := loss.CrossEntropy(acts.Logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLogits, err := loss.CrossEntropy(acts.Logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := m.NewGrads()
+	if err := m.Backward(acts, dLogits, nil, grads); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	params := m.Params()
+	gparams := grads.Params()
+	for pi, p := range params {
+		pd := p.Data()
+		gd := gparams[pi].Data()
+		// Probe a handful of coordinates per tensor.
+		stride := len(pd)/7 + 1
+		for i := 0; i < len(pd); i += stride {
+			orig := pd[i]
+			pd[i] = orig + eps
+			lPlus := lossAt()
+			pd[i] = orig - eps
+			lMinus := lossAt()
+			pd[i] = orig
+			numeric := (lPlus - lMinus) / (2 * eps)
+			if math.Abs(numeric-gd[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d coord %d: analytic %g vs numeric %g", pi, i, gd[i], numeric)
+			}
+		}
+	}
+}
+
+// Gradients injected at the embedding (dZExtra) must flow correctly too.
+func TestBackwardDZExtraFiniteDifferences(t *testing.T) {
+	m := smallModel(t, 5)
+	r := rand.New(rand.NewSource(6))
+	x := tensor.Randn(r, 1, 4, 6)
+
+	// Loss = sum of embeddings squared (so dL/dZ = 2Z).
+	lossAt := func() float64 {
+		z, err := m.Embed(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for _, v := range z.Data() {
+			s += v * v
+		}
+		return s
+	}
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz := acts.Z.Clone().Scale(2)
+	grads := m.NewGrads()
+	if err := m.Backward(acts, nil, dz, grads); err != nil {
+		t.Fatal(err)
+	}
+	// Classifier params receive no gradient on this loss.
+	if grads.WC.Norm() != 0 || grads.BC.Norm() != 0 {
+		t.Fatal("embedding-only loss leaked into classifier grads")
+	}
+	const eps = 1e-6
+	pd := m.W1.Data()
+	gd := grads.W1.Data()
+	for i := 0; i < len(pd); i += 7 {
+		orig := pd[i]
+		pd[i] = orig + eps
+		lPlus := lossAt()
+		pd[i] = orig - eps
+		lMinus := lossAt()
+		pd[i] = orig
+		numeric := (lPlus - lMinus) / (2 * eps)
+		if math.Abs(numeric-gd[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("W1 coord %d: analytic %g vs numeric %g", i, gd[i], numeric)
+		}
+	}
+}
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	m := smallModel(t, 7)
+	v := m.ParamVector()
+	if len(v) != m.NumParams() {
+		t.Fatalf("vector len %d vs NumParams %d", len(v), m.NumParams())
+	}
+	m2 := smallModel(t, 8)
+	if err := m2.SetParamVector(v); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		q := m2.Params()[i]
+		for j := range p.Data() {
+			if p.Data()[j] != q.Data()[j] {
+				t.Fatal("roundtrip mismatch")
+			}
+		}
+	}
+	if err := m2.SetParamVector(v[:3]); err == nil {
+		t.Fatal("short vector should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := smallModel(t, 9)
+	cp := m.Clone()
+	cp.W1.Data()[0] += 100
+	if m.W1.Data()[0] == cp.W1.Data()[0] {
+		t.Fatal("clone aliases weights")
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	a := smallModel(t, 10)
+	b := smallModel(t, 11)
+	avg, err := nn.WeightedAverage([]*nn.Model{a, b}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range avg.Params() {
+		ad, bd, vd := a.Params()[pi].Data(), b.Params()[pi].Data(), avg.Params()[pi].Data()
+		for j := range vd {
+			want := 0.75*ad[j] + 0.25*bd[j]
+			if math.Abs(vd[j]-want) > 1e-12 {
+				t.Fatalf("avg[%d][%d] = %g, want %g", pi, j, vd[j], want)
+			}
+		}
+	}
+	if _, err := nn.WeightedAverage(nil, nil); err == nil {
+		t.Fatal("empty average should error")
+	}
+	if _, err := nn.WeightedAverage([]*nn.Model{a}, []float64{0}); err == nil {
+		t.Fatal("zero total weight should error")
+	}
+	if _, err := nn.WeightedAverage([]*nn.Model{a}, []float64{-1}); err == nil {
+		t.Fatal("negative weight should error")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	m := smallModel(t, 12)
+	before := m.W1.Data()[0]
+	g := m.NewGrads()
+	g.W1.Data()[0] = 1
+	opt := nn.NewSGD(0.1, 0, 0)
+	if err := opt.Step(m, g); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.W1.Data()[0]-(before-0.1)) > 1e-12 {
+		t.Fatalf("sgd step: %g, want %g", m.W1.Data()[0], before-0.1)
+	}
+	// Momentum accumulates: second identical step moves farther.
+	m2 := smallModel(t, 12)
+	opt2 := nn.NewSGD(0.1, 0.9, 0)
+	g2 := m2.NewGrads()
+	g2.W1.Data()[0] = 1
+	_ = opt2.Step(m2, g2)
+	afterOne := m2.W1.Data()[0]
+	g2.W1.Data()[0] = 1
+	_ = opt2.Step(m2, g2)
+	stepTwo := afterOne - m2.W1.Data()[0]
+	if stepTwo <= 0.1 {
+		t.Fatalf("momentum should enlarge the second step, got %g", stepTwo)
+	}
+}
+
+func TestSGDClip(t *testing.T) {
+	m := smallModel(t, 13)
+	g := m.NewGrads()
+	for _, p := range g.Params() {
+		for i := range p.Data() {
+			p.Data()[i] = 10
+		}
+	}
+	opt := nn.NewSGD(1, 0, 0)
+	opt.Clip = 1
+	before := m.ParamVector()
+	if err := opt.Step(m, g); err != nil {
+		t.Fatal(err)
+	}
+	after := m.ParamVector()
+	moved := 0.0
+	for i := range before {
+		d := after[i] - before[i]
+		moved += d * d
+	}
+	if math.Sqrt(moved) > 1.001 {
+		t.Fatalf("clipped update norm = %g, want ≤1", math.Sqrt(moved))
+	}
+}
+
+func TestGradsZero(t *testing.T) {
+	m := smallModel(t, 14)
+	g := m.NewGrads()
+	g.W2.Data()[0] = 5
+	g.Zero()
+	if g.W2.Data()[0] != 0 {
+		t.Fatal("Zero failed")
+	}
+}

@@ -1,0 +1,552 @@
+// Package tensor implements dense float64 tensors and the small set of
+// linear-algebra operations the reproduction needs: elementwise arithmetic,
+// matrix multiplication, reductions, and channel-wise statistics over
+// C×H×W feature maps (the shape style transfer operates on).
+//
+// Tensors are row-major. Operations that can fail on shape mismatch return
+// errors rather than panicking, per the project's library-code conventions;
+// hot-path helpers with Must- prefixes are provided for internal use where
+// shapes are guaranteed by construction.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// A scalar is represented by an empty shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			n = 0
+			break
+		}
+		n *= s
+	}
+	cp := make([]int, len(shape))
+	copy(cp, shape)
+	return &Tensor{shape: cp, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is NOT
+// copied; the caller must not alias it afterwards unless intended.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n)
+	}
+	cp := make([]int, len(shape))
+	copy(cp, shape)
+	return &Tensor{shape: cp, data: data}, nil
+}
+
+// MustFromSlice is FromSlice that panics on shape mismatch. Use only with
+// shapes guaranteed by construction.
+func MustFromSlice(data []float64, shape ...int) *Tensor {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Randn fills a new tensor with N(0, std) samples drawn from r.
+func Randn(r *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = r.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with Uniform(lo, hi) samples drawn from r.
+func RandUniform(r *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + r.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the underlying storage. Mutations are visible to the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dims returns the number of axes.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	cp := New(t.shape...)
+	copy(cp.data, t.data)
+	return cp
+}
+
+// Reshape returns a view of t with a new shape covering the same elements.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("tensor: cannot reshape %v (=%d elems) to %v (=%d elems)", t.shape, len(t.data), shape, n)
+	}
+	cp := make([]int, len(shape))
+	copy(cp, shape)
+	return &Tensor{shape: cp, data: t.data}, nil
+}
+
+// MustReshape is Reshape that panics on element-count mismatch.
+func (t *Tensor) MustReshape(shape ...int) *Tensor {
+	r, err := t.Reshape(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- elementwise arithmetic ---
+
+// AddInPlace computes t += o.
+func (t *Tensor) AddInPlace(o *Tensor) error {
+	if !SameShape(t, o) {
+		return fmt.Errorf("tensor: add shape mismatch %v vs %v", t.shape, o.shape)
+	}
+	for i := range t.data {
+		t.data[i] += o.data[i]
+	}
+	return nil
+}
+
+// SubInPlace computes t -= o.
+func (t *Tensor) SubInPlace(o *Tensor) error {
+	if !SameShape(t, o) {
+		return fmt.Errorf("tensor: sub shape mismatch %v vs %v", t.shape, o.shape)
+	}
+	for i := range t.data {
+		t.data[i] -= o.data[i]
+	}
+	return nil
+}
+
+// MulInPlace computes the Hadamard product t *= o.
+func (t *Tensor) MulInPlace(o *Tensor) error {
+	if !SameShape(t, o) {
+		return fmt.Errorf("tensor: mul shape mismatch %v vs %v", t.shape, o.shape)
+	}
+	for i := range t.data {
+		t.data[i] *= o.data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element by s, in place, and returns t.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScaled computes t += s*o, the classic axpy.
+func (t *Tensor) AddScaled(s float64, o *Tensor) error {
+	if !SameShape(t, o) {
+		return fmt.Errorf("tensor: addscaled shape mismatch %v vs %v", t.shape, o.shape)
+	}
+	for i := range t.data {
+		t.data[i] += s * o.data[i]
+	}
+	return nil
+}
+
+// Add returns a+b as a new tensor.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: add shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := a.Clone()
+	_ = out.AddInPlace(b)
+	return out, nil
+}
+
+// Sub returns a-b as a new tensor.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: sub shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := a.Clone()
+	_ = out.SubInPlace(b)
+	return out, nil
+}
+
+// Apply replaces every element x with f(x), in place, and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = f(t.data[i])
+	}
+	return t
+}
+
+// Zero resets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// --- reductions ---
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Dot returns the inner product of a and b viewed as flat vectors.
+func Dot(a, b *Tensor) (float64, error) {
+	if len(a.data) != len(b.data) {
+		return 0, fmt.Errorf("tensor: dot length mismatch %d vs %d", len(a.data), len(b.data))
+	}
+	s := 0.0
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s, nil
+}
+
+// Norm returns the Euclidean norm of t viewed as a flat vector.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDistance returns ||a-b||² of the flattened tensors.
+func SquaredDistance(a, b *Tensor) (float64, error) {
+	if len(a.data) != len(b.data) {
+		return 0, fmt.Errorf("tensor: distance length mismatch %d vs %d", len(a.data), len(b.data))
+	}
+	s := 0.0
+	for i := range a.data {
+		d := a.data[i] - b.data[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// CosineSimilarity returns the cosine of the angle between flat vectors a
+// and b, or 0 when either has zero norm.
+func CosineSimilarity(a, b *Tensor) (float64, error) {
+	dot, err := Dot(a, b)
+	if err != nil {
+		return 0, err
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	return dot / (na * nb), nil
+}
+
+// ArgMax returns the index of the maximum element of the flattened tensor,
+// or -1 for an empty tensor. Ties resolve to the first maximum.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		return -1
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// --- matrix operations (2-D tensors) ---
+
+// MatMul returns a@b for a of shape (m,k) and b of shape (k,n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: matmul needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulATB returns aᵀ@b for a of shape (k,m) and b of shape (k,n).
+// Used in backprop for weight gradients without materializing transposes.
+func MatMulATB(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: matmulATB needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmulATB outer dims %d vs %d", k, k2)
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			oi := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulABT returns a@bᵀ for a of shape (m,k) and b of shape (n,k).
+// Used in backprop for input gradients without materializing transposes.
+func MatMulABT(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: matmulABT needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmulABT inner dims %d vs %d", k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out, nil
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func (t *Tensor) Transpose2D() (*Tensor, error) {
+	if t.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: transpose needs a 2-D tensor, got %v", t.shape)
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// Row returns a view of row i of a 2-D tensor as a 1-D tensor.
+func (t *Tensor) Row(i int) (*Tensor, error) {
+	if t.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: Row needs a 2-D tensor, got %v", t.shape)
+	}
+	if i < 0 || i >= t.shape[0] {
+		return nil, fmt.Errorf("tensor: row %d out of range for shape %v", i, t.shape)
+	}
+	n := t.shape[1]
+	return &Tensor{shape: []int{n}, data: t.data[i*n : (i+1)*n]}, nil
+}
+
+// MustRow is Row that panics on error. Use only with indices guaranteed by
+// construction.
+func (t *Tensor) MustRow(i int) *Tensor {
+	r, err := t.Row(i)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// --- channel-wise statistics over C×H×W maps ---
+
+// ChannelStats returns the per-channel mean and standard deviation of a
+// feature map shaped (C, H, W). eps stabilizes sigma for flat channels.
+func ChannelStats(t *Tensor, eps float64) (mu, sigma []float64, err error) {
+	if t.Dims() != 3 {
+		return nil, nil, fmt.Errorf("tensor: ChannelStats needs a 3-D (C,H,W) tensor, got %v", t.shape)
+	}
+	c, h, w := t.shape[0], t.shape[1], t.shape[2]
+	hw := h * w
+	mu = make([]float64, c)
+	sigma = make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		seg := t.data[ch*hw : (ch+1)*hw]
+		m := 0.0
+		for _, v := range seg {
+			m += v
+		}
+		m /= float64(hw)
+		va := 0.0
+		for _, v := range seg {
+			d := v - m
+			va += d * d
+		}
+		va /= float64(hw)
+		mu[ch] = m
+		sigma[ch] = math.Sqrt(va + eps)
+	}
+	return mu, sigma, nil
+}
+
+// Softmax writes the softmax of each row of a 2-D tensor into a new tensor.
+func Softmax(logits *Tensor) (*Tensor, error) {
+	if logits.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: Softmax needs a 2-D tensor, got %v", logits.shape)
+	}
+	m, n := logits.shape[0], logits.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := logits.data[i*n : (i+1)*n]
+		orow := out.data[i*n : (i+1)*n]
+		mx := row[0]
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			s += e
+		}
+		inv := 1.0 / s
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out, nil
+}
+
+// Stack concatenates 1-D tensors of equal length into a 2-D (len(rows), n)
+// tensor, copying the data.
+func Stack(rows []*Tensor) (*Tensor, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("tensor: Stack of zero rows")
+	}
+	n := rows[0].Len()
+	out := New(len(rows), n)
+	for i, r := range rows {
+		if r.Len() != n {
+			return nil, fmt.Errorf("tensor: Stack row %d has length %d, want %d", i, r.Len(), n)
+		}
+		copy(out.data[i*n:(i+1)*n], r.data)
+	}
+	return out, nil
+}
+
+// String renders a compact description, useful in test failures.
+func (t *Tensor) String() string {
+	if len(t.data) <= 8 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%g %g ... %g]", t.shape, t.data[0], t.data[1], t.data[len(t.data)-1])
+}

@@ -1,0 +1,94 @@
+package pardon_test
+
+import (
+	"testing"
+
+	pardon "github.com/pardon-feddg/pardon"
+)
+
+// TestPublicAPIEndToEnd drives the whole library through the public
+// facade only — the path an external adopter takes.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end API test is not short")
+	}
+	gen, err := pardon.NewGenerator(pardon.PACSConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := pardon.NewEncoder(pardon.DefaultEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := enc.OutShape()
+	env := &pardon.Env{
+		Enc:      enc,
+		ModelCfg: pardon.ModelConfig{In: c * h * w, Hidden: 32, ZDim: 16, Classes: 7},
+		Hyper:    pardon.DefaultHyper(),
+		RNG:      pardon.NewRNG(5),
+	}
+
+	var train []*pardon.Dataset
+	for _, d := range []int{0, 1} {
+		ds, err := gen.GenerateDomain(d, 120, "api")
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, ds)
+	}
+	if err := env.Calibrate(32, train...); err != nil {
+		t.Fatal(err)
+	}
+	testDS, err := gen.GenerateDomain(3, 100, "api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts, err := pardon.PartitionByDomain(train, pardon.PartitionOptions{NumClients: 8, Lambda: 0.1}, env.RNG.Stream("partition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := pardon.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := pardon.NewEvalSet(env, testDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, alg := range []pardon.Algorithm{
+		pardon.NewFedAvg(),
+		pardon.NewPARDON(pardon.DefaultOptions()),
+	} {
+		model, hist, err := pardon.Run(env, alg, clients, nil, test, pardon.RunConfig{Rounds: 4, SampleK: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if model == nil || hist.Final().TestAcc <= 0 {
+			t.Fatalf("%s produced no usable result", alg.Name())
+		}
+	}
+
+	// Style transfer through the facade.
+	f, err := enc.Encode(testDS.Samples[0].X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &pardon.Style{Mu: make([]float64, 16), Sigma: make([]float64, 16)}
+	for i := range target.Sigma {
+		target.Sigma[i] = 1
+	}
+	if _, err := pardon.AdaIN(f, target); err != nil {
+		t.Fatal(err)
+	}
+
+	// Splits through the facade.
+	splits, err := pardon.LTDOSplits(4, []string{"P", "A", "C", "S"})
+	if err != nil || len(splits) != 4 {
+		t.Fatalf("LTDO: %v %d", err, len(splits))
+	}
+	if _, err := pardon.LODOSplits(4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
