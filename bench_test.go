@@ -17,6 +17,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/attack"
 	"github.com/pardon-feddg/pardon/internal/core"
 	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
 	"github.com/pardon-feddg/pardon/internal/finch"
 	"github.com/pardon-feddg/pardon/internal/nn"
@@ -26,6 +27,18 @@ import (
 )
 
 var logOnce sync.Map
+
+// freshEvalConfig gives a benchmark iteration its own engine so every
+// iteration measures training, not content-address cache hits on the
+// process-wide default engine.
+func freshEvalConfig(b *testing.B, seed uint64) (eval.Config, func()) {
+	b.Helper()
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eval.Config{Scale: eval.Small, Seed: seed, Engine: eng}, eng.Close
+}
 
 func logFirst(b *testing.B, key, text string) {
 	b.Helper()
@@ -38,7 +51,9 @@ func logFirst(b *testing.B, key, text string) {
 
 func BenchmarkTable1LTDO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results, err := eval.RunLTDO(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		results, err := eval.RunLTDO(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +67,9 @@ func BenchmarkTable1LTDO(b *testing.B) {
 
 func BenchmarkTable2LODO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		results, err := eval.RunLODO(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		results, err := eval.RunLODO(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +83,9 @@ func BenchmarkTable2LODO(b *testing.B) {
 
 func BenchmarkTable3IWildCam(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunIWildCam(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunIWildCam(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +109,9 @@ func BenchmarkTable4Attack(b *testing.B) {
 
 func BenchmarkTable5Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunAblation(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunAblation(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +123,9 @@ func BenchmarkTable5Ablation(b *testing.B) {
 
 func BenchmarkFig1Landscape(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunLandscape(eval.Config{Scale: eval.Small, Seed: 1}, "")
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunLandscape(cfg, "")
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +137,9 @@ func BenchmarkFig1Landscape(b *testing.B) {
 
 func BenchmarkFig3Convergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunConvergence(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunConvergence(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +155,9 @@ func BenchmarkFig3Convergence(b *testing.B) {
 
 func BenchmarkFig4Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunOverhead(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunOverhead(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +169,9 @@ func BenchmarkFig4Overhead(b *testing.B) {
 
 func BenchmarkFig5ClientScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunClientScaling(eval.Config{Scale: eval.Small, Seed: 1})
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunClientScaling(cfg)
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +186,9 @@ func BenchmarkFig5ClientScaling(b *testing.B) {
 
 func BenchmarkFig8StyleTransfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.RunStyleTransferComparison(eval.Config{Scale: eval.Small, Seed: 1}, "")
+		cfg, done := freshEvalConfig(b, 1)
+		r, err := eval.RunStyleTransferComparison(cfg, "")
+		done()
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,22 +1,33 @@
-// Command feddg regenerates the paper's tables and figures.
+// Command feddg regenerates the paper's tables and figures, and serves
+// the experiment engine over HTTP.
 //
 // Usage:
 //
 //	feddg -exp table1 [-scale small|paper] [-seed N] [-seeds K] [-out DIR]
+//	       [-cache DIR] [-workers N]
 //	feddg -exp all -scale small
+//	feddg serve [-addr :8080] [-cache DIR] [-workers N]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
 // fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
-// are written under -out (default ./out).
+// are written under -out (default ./out). With -cache, completed runs
+// are memoized on disk by content-address, so re-generating a table over
+// an unchanged cache does zero federated rounds.
+//
+// `feddg serve` exposes submit/status/result/cancel over HTTP/JSON; see
+// README.md for the job lifecycle and wire format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"github.com/pardon-feddg/pardon/internal/attack"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
 )
 
@@ -28,12 +39,17 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		return serve(os.Args[2:])
+	}
 	var (
-		expFlag   = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
-		scaleFlag = flag.String("scale", "small", "experiment scale: small|paper")
-		seedFlag  = flag.Uint64("seed", 1, "root random seed")
-		seedsFlag = flag.Int("seeds", 1, "number of seeds to average")
-		outFlag   = flag.String("out", "out", "output directory for figure artifacts")
+		expFlag     = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
+		scaleFlag   = flag.String("scale", "small", "experiment scale: small|paper")
+		seedFlag    = flag.Uint64("seed", 1, "root random seed")
+		seedsFlag   = flag.Int("seeds", 1, "number of seeds to average")
+		outFlag     = flag.String("out", "out", "output directory for figure artifacts")
+		cacheFlag   = flag.String("cache", "", "result-cache directory (empty = in-memory only)")
+		workersFlag = flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
 	)
 	flag.Parse()
 	if *expFlag == "" {
@@ -44,7 +60,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cfg := eval.Config{Scale: scale, Seed: *seedFlag, Seeds: *seedsFlag}
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	cfg := eval.Config{Scale: scale, Seed: *seedFlag, Seeds: *seedsFlag, Engine: eng}
 
 	exps := []string{*expFlag}
 	if *expFlag == "all" {
@@ -57,7 +78,35 @@ func run() error {
 		}
 		fmt.Printf("[%s completed in %s]\n\n", exp, time.Since(start).Round(time.Millisecond))
 	}
+	st := eng.Stats()
+	fmt.Printf("[engine: %d submitted, %d cache hits, %d rounds trained]\n",
+		st.Submitted, st.CacheHits, st.RoundsExecuted)
 	return nil
+}
+
+// serve runs the experiment engine behind the HTTP/JSON job API until
+// the process is killed.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("feddg serve", flag.ContinueOnError)
+	var (
+		addrFlag    = fs.String("addr", ":8080", "listen address")
+		cacheFlag   = fs.String("cache", "feddg-cache", "result-cache directory (empty = in-memory only)")
+		workersFlag = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	cache := *cacheFlag
+	if cache == "" {
+		cache = "(memory)"
+	}
+	log.Printf("feddg serve: listening on %s, cache %s", *addrFlag, cache)
+	return http.ListenAndServe(*addrFlag, engine.NewServer(eng))
 }
 
 func runExperiment(exp string, cfg eval.Config, outDir string) error {

@@ -19,8 +19,12 @@
 //   - style-inversion privacy attacks with FID / Inception-Score analogue
 //     metrics (internal/attack, internal/stats),
 //   - experiment runners that regenerate every table and figure of the
-//     paper's evaluation (internal/eval, cmd/feddg, bench_test.go).
+//     paper's evaluation (internal/eval, cmd/feddg, bench_test.go),
+//   - an experiment-orchestration engine that schedules every run as a
+//     cancellable job over a bounded worker pool, memoizes results in a
+//     content-addressed cache, and serves an HTTP job API via the
+//     `feddg serve` subcommand (internal/engine).
 //
 // See DESIGN.md for the system inventory and the per-experiment index, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// README.md for CLI and `feddg serve` usage.
 package pardon

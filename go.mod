@@ -1,0 +1,3 @@
+module github.com/pardon-feddg/pardon
+
+go 1.22

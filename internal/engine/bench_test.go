@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// sweepSpecs is a reduced method×seed sweep (the shape of one Table I
+// scheme) used to measure engine throughput.
+func sweepSpecs() []Spec {
+	var specs []Spec
+	for _, seed := range []uint64{1, 1010} {
+		for _, m := range []string{"FedAvg", "CCST", "PARDON"} {
+			sp := tinySpec(m)
+			sp.Seed = seed
+			specs = append(specs, sp)
+		}
+	}
+	return specs
+}
+
+func runSweep(b *testing.B, e *Engine) {
+	b.Helper()
+	specs := sweepSpecs()
+	jobs := make([]*Job, len(specs))
+	for i, sp := range specs {
+		j, err := e.Submit(sp, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCold measures a full sweep against an empty result
+// store: every job trains.
+func BenchmarkSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		runSweep(b, e)
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSweepCached measures the identical sweep against a warm
+// store: every job is a content-address hit and zero rounds train. The
+// cold/cached ratio is the engine's memoization payoff.
+func BenchmarkSweepCached(b *testing.B) {
+	e, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	runSweep(b, e) // warm the store
+	rounds := e.Stats().RoundsExecuted
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, e)
+	}
+	b.StopTimer()
+	if got := e.Stats().RoundsExecuted; got != rounds {
+		b.Fatalf("cached sweep trained %d extra rounds", got-rounds)
+	}
+}

@@ -1,0 +1,309 @@
+// Package engine is the experiment-orchestration subsystem: it turns
+// every federated-DG experiment of the reproduction into a schedulable,
+// cacheable, cancellable job.
+//
+// The pieces:
+//
+//   - Spec        — a canonical, hashable description of one run (method ×
+//     dataset preset × sizing × seed) whose SHA-256 content-address
+//     (including CodeVersion) identifies the result it computes;
+//   - Scheduler   — a bounded worker pool behind a priority+FIFO queue with
+//     per-job context cancellation, submission coalescing, and progress
+//     events streamed over channels;
+//   - Store       — a content-addressed result cache (in-memory, optionally
+//     disk-backed) so re-running a table or figure is O(cache-hit);
+//   - Server      — the `feddg serve` HTTP/JSON API (submit / status /
+//     result / cancel) over the stdlib net/http mux.
+//
+// internal/eval's table and figure runners submit Specs here instead of
+// calling fl/core/baselines directly, so a full sweep shards across the
+// worker pool and repeated regeneration hits the cache.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/fl"
+)
+
+// MethodNames lists the six compared methods in the paper's table order.
+func MethodNames() []string {
+	return []string{"FedSR", "FedGMA", "FPL", "FedDG-GA", "CCST", "PARDON"}
+}
+
+// NewAlgorithm instantiates a method by table name. PARDON ablation
+// variants are addressed as "PARDON-v1" … "PARDON-v5".
+func NewAlgorithm(name string) (fl.Algorithm, error) {
+	switch name {
+	case "FedAvg":
+		return &baselines.FedAvg{}, nil
+	case "FedSR":
+		return baselines.NewFedSR(), nil
+	case "FedGMA":
+		return baselines.NewFedGMA(), nil
+	case "FPL":
+		return baselines.NewFPL(), nil
+	case "FedDG-GA":
+		return baselines.NewFedDGGA(), nil
+	case "CCST":
+		return baselines.NewCCST(), nil
+	case "CCST-sample":
+		return baselines.NewCCSTSample(), nil
+	case "PARDON":
+		return core.New(core.DefaultOptions()), nil
+	}
+	if len(name) > 7 && name[:7] == "PARDON-" {
+		opts, err := core.VariantOptions(name[7:])
+		if err != nil {
+			return nil, err
+		}
+		return core.New(opts), nil
+	}
+	return nil, fmt.Errorf("engine: unknown method %q", name)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers sizes the scheduler's worker pool; 0 means
+	// max(1, NumCPU/2).
+	Workers int
+	// CacheDir backs the result store on disk; "" keeps results in
+	// memory only.
+	CacheDir string
+	// Parallelism bounds each job's local-training worker pool; 0
+	// means ceil(NumCPU/Workers), so a full worker pool totals about
+	// NumCPU training goroutines instead of NumCPU per job.
+	Parallelism int
+	// ScenarioCap bounds the resident built-scenario cache (0 = 4).
+	ScenarioCap int
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Submitted counts Submit/SubmitFunc calls.
+	Submitted int64 `json:"submitted"`
+	// CacheHits counts submissions answered from the result store.
+	CacheHits int64 `json:"cache_hits"`
+	// Coalesced counts submissions attached to an already in-flight job.
+	Coalesced int64 `json:"coalesced"`
+	// RoundsExecuted counts federated rounds actually trained; cache
+	// hits add zero.
+	RoundsExecuted int64 `json:"rounds_executed"`
+	// StoreEntries is the in-memory result-store size.
+	StoreEntries int `json:"store_entries"`
+	// StoreHits/StoreMisses are the store's lookup counters.
+	StoreHits   int64 `json:"store_hits"`
+	StoreMisses int64 `json:"store_misses"`
+	// Jobs is the number of jobs the scheduler knows.
+	Jobs int `json:"jobs"`
+}
+
+// Engine bundles the scheduler, the result store, and the scenario
+// cache. All methods are safe for concurrent use.
+type Engine struct {
+	store       *Store
+	sched       *Scheduler
+	scenarios   *scenarioCache
+	parallelism int
+
+	submitted atomic.Int64
+	cacheHits atomic.Int64
+	coalesced atomic.Int64
+	rounds    atomic.Int64
+}
+
+// New opens an Engine.
+func New(opts Options) (*Engine, error) {
+	store, err := NewStore(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU() / 2
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		// Split the cores across the worker pool so a full pool of jobs
+		// lands near NumCPU training goroutines in total, not NumCPU
+		// per job.
+		par = (runtime.NumCPU() + workers - 1) / workers
+	}
+	return &Engine{
+		store:       store,
+		sched:       newScheduler(workers),
+		scenarios:   newScenarioCache(opts.ScenarioCap),
+		parallelism: par,
+	}, nil
+}
+
+// Close cancels all pending and running jobs and drains the worker pool.
+func (e *Engine) Close() { e.sched.close() }
+
+// Store exposes the engine's result store.
+func (e *Engine) Store() *Store { return e.store }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.store.Counters()
+	return Stats{
+		Submitted:      e.submitted.Load(),
+		CacheHits:      e.cacheHits.Load(),
+		Coalesced:      e.coalesced.Load(),
+		RoundsExecuted: e.rounds.Load(),
+		StoreEntries:   e.store.Len(),
+		StoreHits:      hits,
+		StoreMisses:    misses,
+		Jobs:           e.sched.count(),
+	}
+}
+
+// Submit schedules the run a Spec describes. The submission is answered
+// from the result store when the Spec's content-address is cached (the
+// returned job is already Done with Cached()==true and zero federated
+// rounds are trained), coalesces onto an identical in-flight job when
+// one exists, and otherwise enqueues at the given priority (higher runs
+// first).
+func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
+	return e.submit(spec, priority, false)
+}
+
+// SubmitFresh is Submit minus the cache lookup: the run always executes
+// (its result still overwrites the store entry). Use it when the
+// consumer needs this machine's live measurement — e.g. the Fig. 4
+// wall-clock breakdown, which a cached result would report stale.
+func (e *Engine) SubmitFresh(spec Spec, priority int) (*Job, error) {
+	return e.submit(spec, priority, true)
+}
+
+func (e *Engine) submit(spec Spec, priority int, fresh bool) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	e.submitted.Add(1)
+	sp := spec
+	if !fresh {
+		if res, ok, err := e.store.Get(hash); err != nil {
+			return nil, err
+		} else if ok {
+			e.cacheHits.Add(1)
+			return e.sched.completed(&sp, hash, priority, res), nil
+		}
+	}
+	j, coalesced, err := e.sched.submit(&sp, hash, priority, func(ctx context.Context, j *Job) (*Result, error) {
+		res, err := e.runSpec(ctx, j, sp, hash)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.store.Put(hash, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if coalesced {
+		e.coalesced.Add(1)
+	}
+	return j, err
+}
+
+// JobFunc is an ad-hoc computation submitted with SubmitFunc.
+type JobFunc func(ctx context.Context) (*Result, error)
+
+// SubmitFunc schedules an arbitrary computation under an explicit
+// content-address (see FuncKey). It shares the queue, the worker pool,
+// cancellation, coalescing, and the result store with Spec jobs; use it
+// for experiments that are not a single federated run (e.g. the Fig. 8
+// style-transfer comparison).
+func (e *Engine) SubmitFunc(key string, priority int, fn JobFunc) (*Job, error) {
+	if key == "" {
+		return nil, fmt.Errorf("engine: SubmitFunc needs a content-address key")
+	}
+	e.submitted.Add(1)
+	if res, ok, err := e.store.Get(key); err != nil {
+		return nil, err
+	} else if ok {
+		e.cacheHits.Add(1)
+		return e.sched.completed(nil, key, priority, res), nil
+	}
+	j, coalesced, err := e.sched.submit(nil, key, priority, func(ctx context.Context, j *Job) (*Result, error) {
+		res, err := fn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.store.Put(key, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if coalesced {
+		e.coalesced.Add(1)
+	}
+	return j, err
+}
+
+// Job looks up a job by ID.
+func (e *Engine) Job(id string) (*Job, bool) { return e.sched.job(id) }
+
+// Jobs returns every job the scheduler knows, newest first.
+func (e *Engine) Jobs() []*Job { return e.sched.all() }
+
+// Cancel aborts a job by ID: immediately when queued, at the next round
+// boundary when running.
+func (e *Engine) Cancel(id string) error { return e.sched.cancel(id) }
+
+// BuildScenario returns the (possibly cached) built scenario a Spec
+// describes, for consumers that analyze scenario data beyond a run's
+// Result — e.g. the Fig. 1 loss-landscape probe.
+func (e *Engine) BuildScenario(spec Spec) (*Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return e.scenarios.get(spec, e.parallelism)
+}
+
+// runSpec executes one Spec: build (or reuse) the scenario, instantiate
+// the method, and run federated training with per-round progress events
+// and cancellation.
+func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*Result, error) {
+	sc, err := e.scenarios.get(spec, e.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := NewAlgorithm(spec.Method)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	model, hist, err := fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{
+		Rounds:    spec.Rounds,
+		SampleK:   spec.SampleK,
+		EvalEvery: spec.EvalEvery,
+		Context:   ctx,
+		OnRound: func(round, total int) {
+			e.rounds.Add(1)
+			j.progress(round, total)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := resultFromHistory(hash, spec.Method, hist)
+	if spec.KeepModel {
+		res.Model = model.ParamVector()
+	}
+	res.ElapsedSec = time.Since(start).Seconds()
+	return res, nil
+}

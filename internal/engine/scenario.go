@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/partition"
+	"github.com/pardon-feddg/pardon/internal/rng"
+	"github.com/pardon-feddg/pardon/internal/synth"
+)
+
+// Scenario is a fully built federated experiment: environment, clients,
+// and evaluation sets. Clients are read-only during training, so one
+// Scenario is shared by every method (and every concurrent job)
+// evaluated on the same data — matching the paper's methodology of
+// identical data across compared methods.
+type Scenario struct {
+	Env     *fl.Env
+	Clients []*fl.Client
+	Val     *fl.EvalSet
+	Test    *fl.EvalSet
+	// Gen is the corpus generator the scenario was built from (domain
+	// names, class count).
+	Gen *synth.Generator
+}
+
+// buildScenario assembles the Scenario a Spec describes. Every stochastic
+// choice derives from the Spec's seeds through named rng streams, so
+// equal Specs build bit-identical scenarios.
+func buildScenario(spec Spec, parallelism int) (*Scenario, error) {
+	genCfg, err := spec.genConfig()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.New(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := encoder.New(encoder.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	c, h, w := enc.OutShape()
+	env := &fl.Env{
+		Enc:         enc,
+		ModelCfg:    nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: gen.Config().NumClasses},
+		Hyper:       fl.DefaultHyper(),
+		RNG:         rng.New(spec.Seed).Child("scenario", spec.Tag),
+		Parallelism: parallelism,
+	}
+
+	trainDomains := make([]*dataset.Dataset, 0, len(spec.Split.Train))
+	for _, d := range spec.Split.Train {
+		ds, err := gen.GenerateDomain(d, spec.PerDomain, spec.Tag+"-train")
+		if err != nil {
+			return nil, err
+		}
+		trainDomains = append(trainDomains, ds)
+	}
+	if err := env.Calibrate(64, trainDomains...); err != nil {
+		return nil, err
+	}
+
+	parts, err := partition.PartitionByDomain(trainDomains,
+		partition.Options{NumClients: spec.Clients, Lambda: spec.Lambda}, env.RNG.Stream("partition"))
+	if err != nil {
+		return nil, err
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := &Scenario{Env: env, Clients: clients, Gen: gen}
+	if len(spec.Split.Val) > 0 {
+		ds, err := generateEval(gen, spec.Split.Val, spec.EvalPer, spec.Tag+"-val")
+		if err != nil {
+			return nil, err
+		}
+		sc.Val, err = fl.NewEvalSet(env, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(spec.Split.Test) > 0 {
+		ds, err := generateEval(gen, spec.Split.Test, spec.EvalPer, spec.Tag+"-test")
+		if err != nil {
+			return nil, err
+		}
+		sc.Test, err = fl.NewEvalSet(env, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+func generateEval(gen *synth.Generator, domains []int, per int, tag string) (*dataset.Dataset, error) {
+	parts := make([]*dataset.Dataset, 0, len(domains))
+	for _, d := range domains {
+		ds, err := gen.GenerateDomain(d, per, tag)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ds)
+	}
+	return dataset.Merge(parts...)
+}
+
+// scenarioEntry is one cache slot; ready is closed once sc/err are set.
+type scenarioEntry struct {
+	ready chan struct{}
+	sc    *Scenario
+	err   error
+	last  int64
+}
+
+// scenarioCache memoizes built scenarios by scenario content-address so
+// a sweep of many methods over the same data encodes it once, with
+// singleflight semantics for concurrent jobs and LRU eviction beyond
+// cap. Evicted scenarios stay valid for jobs still holding them; they
+// are simply rebuilt on the next request.
+type scenarioCache struct {
+	mu  sync.Mutex
+	cap int
+	seq int64
+	m   map[string]*scenarioEntry
+}
+
+func newScenarioCache(capacity int) *scenarioCache {
+	if capacity <= 0 {
+		capacity = 4
+	}
+	return &scenarioCache{cap: capacity, m: map[string]*scenarioEntry{}}
+}
+
+// get returns the Scenario for a Spec, building it at most once per
+// resident cache entry.
+func (c *scenarioCache) get(spec Spec, parallelism int) (*Scenario, error) {
+	key, err := spec.scenarioKey()
+	if err != nil {
+		return nil, fmt.Errorf("engine: scenario key: %w", err)
+	}
+	c.mu.Lock()
+	c.seq++
+	if e, ok := c.m[key]; ok {
+		e.last = c.seq
+		c.mu.Unlock()
+		<-e.ready
+		return e.sc, e.err
+	}
+	e := &scenarioEntry{ready: make(chan struct{}), last: c.seq}
+	c.m[key] = e
+	c.evictLocked(e)
+	c.mu.Unlock()
+
+	e.sc, e.err = buildScenario(spec, parallelism)
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.sc, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits; the entry being inserted and entries still building are
+// kept. c.mu must be held.
+func (c *scenarioCache) evictLocked(keep *scenarioEntry) {
+	for len(c.m) > c.cap {
+		var victimKey string
+		var victim *scenarioEntry
+		for k, e := range c.m {
+			if e == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if victim == nil || e.last < victim.last {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.m, victimKey)
+	}
+}

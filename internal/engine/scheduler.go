@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxRetainedJobs bounds the terminal-job history a long-running
+// scheduler keeps for status queries; beyond it the oldest terminal
+// jobs are forgotten (their cached Results live on in the Store).
+const maxRetainedJobs = 4096
+
+// State is a job's lifecycle stage.
+type State string
+
+// Job lifecycle: Queued → Running → Done | Failed | Cancelled. A cache
+// hit is born Done.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one progress notification of a job, streamed to subscribers.
+// Running jobs emit an Event per completed federated round.
+type Event struct {
+	JobID  string    `json:"job_id"`
+	State  State     `json:"state"`
+	Round  int       `json:"round,omitempty"`
+	Rounds int       `json:"rounds,omitempty"`
+	Err    string    `json:"error,omitempty"`
+	Time   time.Time `json:"time"`
+}
+
+// jobRunFunc executes a job's work; the job is passed so the runner can
+// emit progress events.
+type jobRunFunc func(ctx context.Context, j *Job) (*Result, error)
+
+// Job is one schedulable unit of work: a Spec (or an ad-hoc function)
+// with a content-address, a priority, and a lifecycle the scheduler
+// drives. All methods are safe for concurrent use.
+type Job struct {
+	// ID is the scheduler-unique job identifier.
+	ID string
+	// Key is the job's content-address (Spec hash or FuncKey).
+	Key string
+	// Spec is the job's experiment description (nil for SubmitFunc jobs).
+	Spec *Spec
+	// Created is the submission time.
+	Created time.Time
+
+	run     jobRunFunc
+	seq     int64
+	heapIdx int
+
+	mu       sync.Mutex
+	state    State
+	priority int
+	submits  int
+	cached   bool
+	started  time.Time
+	finished time.Time
+	round    int
+	rounds   int
+	result   *Result
+	err      error
+	subs     []chan Event
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// Priority returns the job's queue priority: higher runs first, FIFO
+// within a level. It can be raised while queued when a higher-priority
+// identical submission coalesces onto the job.
+func (j *Job) Priority() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.priority
+}
+
+// Submissions returns how many Submit calls this job is answering: 1
+// for a sole owner, more when identical submissions coalesced onto it.
+// Callers that abort a batch should only cancel jobs they own alone.
+func (j *Job) Submissions() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submits
+}
+
+// State returns the job's current lifecycle stage.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cached reports whether the job was satisfied from the result store
+// without running.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome once terminal: the Result on success,
+// the failure or cancellation error otherwise, and an error if the job
+// is still pending.
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed, StateCancelled:
+		return nil, j.err
+	default:
+		return nil, fmt.Errorf("engine: job %s not finished (state %s)", j.ID, j.state)
+	}
+}
+
+// Wait blocks until the job is terminal or ctx is cancelled, then
+// returns Result().
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Subscribe returns a channel of the job's progress events. The channel
+// is closed when the job reaches a terminal state; a job already
+// terminal yields its final event and an immediately closed channel.
+// Slow consumers drop events rather than stall the run.
+func (j *Job) Subscribe() <-chan Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, 64)
+	if j.state.terminal() {
+		ch <- j.eventLocked()
+		close(ch)
+		return ch
+	}
+	j.subs = append(j.subs, ch)
+	return ch
+}
+
+// eventLocked snapshots the job as an Event; j.mu must be held.
+func (j *Job) eventLocked() Event {
+	ev := Event{JobID: j.ID, State: j.state, Round: j.round, Rounds: j.rounds, Time: time.Now()}
+	if j.err != nil {
+		ev.Err = j.err.Error()
+	}
+	return ev
+}
+
+// emitLocked fans the current snapshot out to subscribers, dropping on
+// full buffers; j.mu must be held.
+func (j *Job) emitLocked() {
+	ev := j.eventLocked()
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// progress records a completed round and notifies subscribers.
+func (j *Job) progress(round, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.round, j.rounds = round, total
+	j.emitLocked()
+}
+
+// finishLocked moves the job to a terminal state; j.mu must be held.
+func (j *Job) finishLocked(state State, res *Result, err error) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.emitLocked()
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+}
+
+// Scheduler owns the bounded worker pool and the priority/FIFO queue.
+// Submissions with a content-address already queued or running coalesce
+// onto the in-flight job instead of duplicating work.
+type Scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*Job // by ID
+	order    []*Job          // submission order, for bounded retention
+	inflight map[string]*Job // by content-address, queued or running
+	nextID   int64
+	nextSeq  int64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// newScheduler starts a scheduler with the given worker-pool size.
+func newScheduler(workers int) *Scheduler {
+	s := &Scheduler{jobs: map[string]*Job{}, inflight: map[string]*Job{}}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submit enqueues work under a content-address. When a job with the same
+// address is already in flight, that job is returned with coalesced=true
+// and nothing is enqueued.
+func (s *Scheduler) submit(spec *Spec, key string, priority int, run jobRunFunc) (j *Job, coalesced bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, errors.New("engine: scheduler closed")
+	}
+	if cur, ok := s.inflight[key]; ok {
+		// The coalesced submission still gets its urgency: raise the
+		// in-flight job's priority if ours is higher.
+		cur.mu.Lock()
+		cur.submits++
+		if priority > cur.priority {
+			cur.priority = priority
+			if cur.state == StateQueued && cur.heapIdx >= 0 {
+				heap.Fix(&s.queue, cur.heapIdx)
+			}
+		}
+		cur.mu.Unlock()
+		return cur, true, nil
+	}
+	j = s.newJobLocked(spec, key, priority)
+	j.run = run
+	j.state = StateQueued
+	s.inflight[key] = j
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return j, false, nil
+}
+
+// completed registers a job that is already Done (a cache hit), so the
+// submission is observable through the same job API as a live run.
+func (s *Scheduler) completed(spec *Spec, key string, priority int, res *Result) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.newJobLocked(spec, key, priority)
+	j.state = StateDone
+	j.cached = true
+	j.result = res
+	j.finished = j.Created
+	close(j.done)
+	return j
+}
+
+// newJobLocked allocates and registers a job; s.mu must be held. When
+// the registry outgrows maxRetainedJobs, the oldest terminal jobs are
+// forgotten so a long-running server's job history stays bounded.
+func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int) *Job {
+	s.nextID++
+	s.nextSeq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%d", s.nextID),
+		Key:      key,
+		Spec:     spec,
+		Created:  time.Now(),
+		seq:      s.nextSeq,
+		priority: priority,
+		submits:  1,
+		state:    StateQueued,
+		heapIdx:  -1,
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	if len(s.jobs) > maxRetainedJobs {
+		kept := s.order[:0]
+		excess := len(s.jobs) - maxRetainedJobs
+		for _, old := range s.order {
+			if excess > 0 && old.State().terminal() {
+				delete(s.jobs, old.ID)
+				excess--
+				continue
+			}
+			kept = append(kept, old)
+		}
+		s.order = kept
+	}
+	return j
+}
+
+// count returns the number of retained jobs.
+func (s *Scheduler) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// job looks a job up by ID.
+func (s *Scheduler) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// all returns every retained job, newest first.
+func (s *Scheduler) all() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq })
+	return out
+}
+
+// cancel aborts a job: a queued job finishes immediately as Cancelled, a
+// running job has its context cancelled and finishes at the next round
+// boundary. Cancelling a terminal job is a no-op.
+func (s *Scheduler) cancel(id string) error {
+	j, ok := s.job(id)
+	if !ok {
+		return fmt.Errorf("engine: unknown job %q", id)
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.finishLocked(StateCancelled, nil, fmt.Errorf("engine: job %s cancelled while queued: %w", j.ID, context.Canceled))
+		j.mu.Unlock()
+		s.release(j)
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// release removes a terminal job from the in-flight index.
+func (s *Scheduler) release(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.mu.Unlock()
+}
+
+// close cancels all pending and running work and waits for the workers
+// to drain.
+func (s *Scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	running := make([]*Job, 0, len(s.inflight))
+	for _, j := range s.inflight {
+		running = append(running, j)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range running {
+		_ = s.cancel(j.ID)
+	}
+	s.wg.Wait()
+}
+
+// worker is the dequeue-and-run loop of one pool worker.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && s.queue.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		s.mu.Unlock()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		j.mu.Lock()
+		if j.state != StateQueued { // cancelled while queued
+			j.mu.Unlock()
+			cancel()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		j.emitLocked()
+		j.mu.Unlock()
+
+		res, err := j.run(ctx, j)
+		cancel()
+
+		j.mu.Lock()
+		switch {
+		case err == nil:
+			j.finishLocked(StateDone, res, nil)
+		case errors.Is(err, context.Canceled):
+			j.finishLocked(StateCancelled, nil, err)
+		default:
+			j.finishLocked(StateFailed, nil, err)
+		}
+		j.mu.Unlock()
+		s.release(j)
+	}
+}
+
+// jobQueue is a priority heap: higher priority first, FIFO within a
+// priority level. All heap operations run under the scheduler's mutex,
+// which also guards priority writes, so reading priorities here is
+// race-free.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, k int) bool {
+	if q[i].priority != q[k].priority {
+		return q[i].priority > q[k].priority
+	}
+	return q[i].seq < q[k].seq
+}
+
+func (q jobQueue) Swap(i, k int) {
+	q[i], q[k] = q[k], q[i]
+	q[i].heapIdx = i
+	q[k].heapIdx = k
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}

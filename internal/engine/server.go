@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server exposes an Engine over HTTP/JSON — the `feddg serve` API. All
+// handlers use only the standard library.
+//
+//	GET    /healthz                 liveness probe
+//	GET    /v1/stats                engine counters
+//	POST   /v1/jobs                 submit a Spec ({"spec":…,"priority":n,"wait":bool})
+//	GET    /v1/jobs                 list jobs, newest first
+//	GET    /v1/jobs/{id}            job status
+//	GET    /v1/jobs/{id}/result     job result (409 until terminal)
+//	POST   /v1/jobs/{id}/cancel     cancel a job
+//	DELETE /v1/jobs/{id}            cancel a job
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wraps an Engine in the HTTP API.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Spec     Spec `json:"spec"`
+	Priority int  `json:"priority"`
+	// Wait blocks the request until the job is terminal and inlines the
+	// result into the response.
+	Wait bool `json:"wait"`
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string     `json:"id"`
+	Key      string     `json:"key"`
+	State    State      `json:"state"`
+	Cached   bool       `json:"cached"`
+	Priority int        `json:"priority"`
+	Method   string     `json:"method,omitempty"`
+	Round    int        `json:"round,omitempty"`
+	Rounds   int        `json:"rounds,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Result is inlined for terminal jobs on submit-with-wait and the
+	// result endpoint.
+	Result *Result `json:"result,omitempty"`
+}
+
+// view snapshots a job for the wire.
+func (s *Server) view(j *Job, withResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Key:      j.Key,
+		State:    j.state,
+		Cached:   j.cached,
+		Priority: j.priority,
+		Round:    j.round,
+		Rounds:   j.rounds,
+		Created:  j.Created,
+	}
+	if j.Spec != nil {
+		v.Method = j.Spec.Method
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if withResult && j.state == StateDone {
+		v.Result = j.result
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.engine.Submit(req.Spec, req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Wait {
+		if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+			writeError(w, http.StatusRequestTimeout, "client went away before the job finished")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.view(j, true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.view(j, false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.engine.Jobs()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, s.view(j, false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	j, ok := s.engine.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j, false))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	switch j.State() {
+	case StateDone:
+		writeJSON(w, http.StatusOK, s.view(j, true))
+	case StateFailed, StateCancelled:
+		writeJSON(w, http.StatusOK, s.view(j, false))
+	default:
+		writeError(w, http.StatusConflict, "job "+j.ID+" not finished (state "+string(j.State())+")")
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if err := s.engine.Cancel(j.ID); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j, false))
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postJSON posts a value and decodes the JSON response into out.
+func postJSON(t *testing.T, client *http.Client, url string, body, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeRoundTrip drives the full `feddg serve` job lifecycle over
+// HTTP: submit → status → result, then a cached resubmission that must
+// not train.
+func TestServeRoundTrip(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	if code := getJSON(t, client, srv.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+
+	// Submit-and-wait returns the finished job with its result inline.
+	var done JobView
+	code := postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{Spec: tinySpec("FedAvg"), Wait: true}, &done)
+	if code != http.StatusOK {
+		t.Fatalf("submit wait = %d (%+v)", code, done)
+	}
+	if done.State != StateDone || done.Cached || done.Result == nil {
+		t.Fatalf("submit wait job = %+v", done)
+	}
+	if acc := done.Result.Final().TestAcc; acc <= 0 || acc > 1 {
+		t.Fatalf("implausible accuracy %g", acc)
+	}
+
+	// Status and result endpoints agree.
+	var status JobView
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/"+done.ID, &status); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if status.State != StateDone || status.Result != nil {
+		t.Fatalf("status view = %+v (result must not be inlined)", status)
+	}
+	var result JobView
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/"+done.ID+"/result", &result); code != http.StatusOK {
+		t.Fatalf("result = %d", code)
+	}
+	if result.Result == nil || result.Result.Final() != done.Result.Final() {
+		t.Fatalf("result view = %+v", result)
+	}
+
+	// An async resubmission of the identical Spec is a cache hit: born
+	// done, zero additional rounds trained.
+	roundsBefore := e.Stats().RoundsExecuted
+	var cached JobView
+	code = postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{Spec: tinySpec("FedAvg")}, &cached)
+	if code != http.StatusAccepted {
+		t.Fatalf("cached submit = %d", code)
+	}
+	if cached.State != StateDone || !cached.Cached {
+		t.Fatalf("cached submit job = %+v", cached)
+	}
+	if got := e.Stats().RoundsExecuted; got != roundsBefore {
+		t.Fatalf("cached submit trained %d rounds", got-roundsBefore)
+	}
+
+	// List shows both jobs; stats report the hit.
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if code := getJSON(t, client, srv.URL+"/v1/jobs", &list); code != http.StatusOK || len(list.Jobs) != 2 {
+		t.Fatalf("list = %d with %d jobs, want 2", code, len(list.Jobs))
+	}
+	var stats Stats
+	if code := getJSON(t, client, srv.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.CacheHits != 1 || stats.Submitted != 2 {
+		t.Fatalf("stats = %+v, want 1 cache hit of 2 submissions", stats)
+	}
+}
+
+func TestServeValidationAndErrors(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	bad := tinySpec("FedAvg")
+	bad.Dataset = "CIFAR"
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{Spec: bad}, &apiErr); code != http.StatusBadRequest || apiErr.Error == "" {
+		t.Fatalf("invalid spec = %d (%+v)", code, apiErr)
+	}
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", code)
+	}
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/job-404/result", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job result = %d", code)
+	}
+}
+
+// TestServeCancel exercises DELETE /v1/jobs/{id} against a running job
+// and the 409 returned by /result while it is still in flight.
+func TestServeCancel(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	started := make(chan struct{})
+	j, err := e.SubmitFunc(FuncKey("serve-cancel"), 0, func(ctx context.Context) (*Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/"+j.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("running job result = %d, want 409", code)
+	}
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+j.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() != StateCancelled {
+		if time.Now().After(deadline) {
+			t.Fatalf("job state = %s, want cancelled", j.State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var view JobView
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/"+j.ID, &view); code != http.StatusOK || view.State != StateCancelled {
+		t.Fatalf("cancelled status = %d %+v", code, view)
+	}
+}

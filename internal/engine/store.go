@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// memCacheCap bounds the in-memory entry count of a disk-backed Store;
+// beyond it the least-recently-used entries fall back to their disk
+// files, keeping a long-running server's memory flat. Memory-only
+// stores ("" dir) are never evicted — dropping an entry would lose it.
+const memCacheCap = 256
+
+// Store memoizes completed Results keyed by content-address. Entries
+// live in memory and, when a directory is configured, as one JSON file
+// per address, so a warm cache survives process restarts and repeated
+// table/figure regeneration is O(cache-hit). Store is safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	mem    map[string]*Result
+	use    map[string]int64
+	seq    int64
+	hits   int64
+	misses int64
+}
+
+// storeEnvelope is the on-disk record format.
+type storeEnvelope struct {
+	Hash        string    `json:"hash"`
+	CodeVersion string    `json:"code_version"`
+	SavedAt     time.Time `json:"saved_at"`
+	Result      *Result   `json:"result"`
+}
+
+// NewStore opens a result store. dir == "" keeps results in memory only;
+// otherwise the directory is created if missing and existing entries
+// become visible immediately.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: create cache dir: %w", err)
+		}
+	}
+	return &Store{dir: dir, mem: map[string]*Result{}, use: map[string]int64{}}, nil
+}
+
+// touchLocked records an access and, for disk-backed stores, evicts the
+// least-recently-used in-memory entries beyond memCacheCap; s.mu must
+// be held.
+func (s *Store) touchLocked(hash string) {
+	s.seq++
+	s.use[hash] = s.seq
+	if s.dir == "" {
+		return
+	}
+	for len(s.mem) > memCacheCap {
+		var victim string
+		var oldest int64
+		for h, u := range s.use {
+			if victim == "" || u < oldest {
+				victim, oldest = h, u
+			}
+		}
+		delete(s.mem, victim)
+		delete(s.use, victim)
+	}
+}
+
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// Get returns the memoized Result for a content-address, if present.
+// Callers must treat the returned Result as immutable: it is shared with
+// every other cache hit for the same address.
+func (s *Store) Get(hash string) (*Result, bool, error) {
+	s.mu.Lock()
+	if r, ok := s.mem[hash]; ok {
+		s.hits++
+		s.touchLocked(hash)
+		s.mu.Unlock()
+		return r, true, nil
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		s.miss()
+		return nil, false, nil
+	}
+	raw, err := os.ReadFile(s.path(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.miss()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: read cache entry: %w", err)
+	}
+	var env storeEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Result == nil {
+		// A torn or foreign file is a miss, not a fatal error; the entry
+		// will be recomputed and overwritten.
+		s.miss()
+		return nil, false, nil
+	}
+	if env.CodeVersion != CodeVersion {
+		s.miss()
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	s.mem[hash] = env.Result
+	s.hits++
+	s.touchLocked(hash)
+	s.mu.Unlock()
+	return env.Result, true, nil
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// Put memoizes a Result under a content-address. On-disk writes are
+// atomic (temp file + rename), so concurrent readers never observe torn
+// entries.
+func (s *Store) Put(hash string, r *Result) error {
+	s.mu.Lock()
+	s.mem[hash] = r
+	s.touchLocked(hash)
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	env := storeEnvelope{Hash: hash, CodeVersion: CodeVersion, SavedAt: time.Now().UTC(), Result: r}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("engine: encode cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("engine: write cache entry: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Counters returns the hit/miss totals since the store was opened.
+func (s *Store) Counters() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}

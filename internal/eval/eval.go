@@ -1,11 +1,12 @@
 // Package eval contains the experiment runners that regenerate every table
-// and figure of the paper's evaluation (see DESIGN.md §4 for the index):
+// and figure of the paper's evaluation (see DESIGN.md for the index):
 //
 //	Table I   — RunLTDO        (PACS & Office-Home, leave-two-domains-out)
 //	Table II  — RunLODO        (PACS & Office-Home, leave-one-domain-out)
 //	Table III — RunIWildCam    (λ sweep on the IWildCam-style corpus)
-//	Table IV  — attack.RunTable4 (style-inversion privacy metrics)
+//	Table IV  — attack.RunPrivacy (style-inversion privacy metrics)
 //	Table V   — RunAblation    (PARDON v1–v5)
+//	Fig. 1    — RunLandscape   (loss surface + feature separation)
 //	Fig. 3    — RunConvergence (accuracy-vs-round at four λ)
 //	Fig. 4    — RunOverhead    (per-phase wall-clock)
 //	Fig. 5    — RunClientScaling (K/N sweep)
@@ -15,20 +16,23 @@
 // benchmark harness) and Paper (the paper's client/round counts; used by
 // cmd/feddg -scale paper). Scale changes sample/round/client counts only —
 // never the structure of an experiment.
+//
+// Runners do not train directly: they describe each federated run as an
+// engine.Spec and submit it to an experiment engine (internal/engine),
+// which shards the runs across a bounded worker pool and memoizes results
+// by content-address — re-generating a table over an unchanged cache does
+// zero federated rounds.
 package eval
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
-	"github.com/pardon-feddg/pardon/internal/baselines"
-	"github.com/pardon-feddg/pardon/internal/core"
 	"github.com/pardon-feddg/pardon/internal/dataset"
-	"github.com/pardon-feddg/pardon/internal/encoder"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/fl"
-	"github.com/pardon-feddg/pardon/internal/nn"
-	"github.com/pardon-feddg/pardon/internal/partition"
-	"github.com/pardon-feddg/pardon/internal/rng"
-	"github.com/pardon-feddg/pardon/internal/synth"
 )
 
 // Scale selects experiment sizing.
@@ -58,11 +62,17 @@ type Config struct {
 	Scale Scale
 	// Seed roots all randomness; runs with equal Seed are reproducible.
 	Seed uint64
-	// Seeds averages results over this many seeds (default 1; the tables
-	// in EXPERIMENTS.md use 2 at small scale).
+	// Seeds averages results over this many seeds (default 1).
 	Seeds int
-	// Parallelism bounds worker pools (0 = NumCPU).
+	// Parallelism bounds the TOTAL training goroutines across all
+	// concurrently scheduled runs (0 = NumCPU). It only takes effect on
+	// the engine it creates: the shared default engine adopts the first
+	// caller's value; an explicit Engine carries its own sizing.
 	Parallelism int
+	// Engine schedules and caches the federated runs. When nil a shared
+	// in-memory default is used, so plain library calls still shard
+	// across a worker pool; cmd/feddg wires a disk-backed engine here.
+	Engine *engine.Engine
 }
 
 func (c Config) seeds() []uint64 {
@@ -77,41 +87,52 @@ func (c Config) seeds() []uint64 {
 	return out
 }
 
-// MethodNames lists the six compared methods in the paper's table order.
-func MethodNames() []string {
-	return []string{"FedSR", "FedGMA", "FPL", "FedDG-GA", "CCST", "PARDON"}
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *engine.Engine
+)
+
+// engine returns the configured engine, or the process-wide in-memory
+// default. The default is created on first use and shared by every
+// later Config, so its sizing is taken from that first caller; pass an
+// explicit Engine to control it per run. A non-zero Parallelism is
+// honored as a bound on TOTAL training goroutines, as it was before
+// runs were sharded: the worker pool and the per-job pool are sized so
+// their product does not exceed it.
+func (c Config) engine() *engine.Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	defaultEngineOnce.Do(func() {
+		opts := engine.Options{}
+		if c.Parallelism > 0 {
+			workers := c.Parallelism
+			if half := runtime.NumCPU() / 2; workers > half && half >= 1 {
+				workers = half
+			}
+			opts.Workers = workers
+			opts.Parallelism = c.Parallelism / workers
+			if opts.Parallelism < 1 {
+				opts.Parallelism = 1
+			}
+		}
+		var err error
+		defaultEngine, err = engine.New(opts)
+		if err != nil {
+			// Only a disk-backed store can fail to open, and the default
+			// is memory-only.
+			panic(err)
+		}
+	})
+	return defaultEngine
 }
+
+// MethodNames lists the six compared methods in the paper's table order.
+func MethodNames() []string { return engine.MethodNames() }
 
 // NewAlgorithm instantiates a method by table name. PARDON ablation
 // variants are addressed as "PARDON-v1" … "PARDON-v5".
-func NewAlgorithm(name string) (fl.Algorithm, error) {
-	switch name {
-	case "FedAvg":
-		return &baselines.FedAvg{}, nil
-	case "FedSR":
-		return baselines.NewFedSR(), nil
-	case "FedGMA":
-		return baselines.NewFedGMA(), nil
-	case "FPL":
-		return baselines.NewFPL(), nil
-	case "FedDG-GA":
-		return baselines.NewFedDGGA(), nil
-	case "CCST":
-		return baselines.NewCCST(), nil
-	case "CCST-sample":
-		return baselines.NewCCSTSample(), nil
-	case "PARDON":
-		return core.New(core.DefaultOptions()), nil
-	}
-	if len(name) > 7 && name[:7] == "PARDON-" {
-		opts, err := core.VariantOptions(name[7:])
-		if err != nil {
-			return nil, err
-		}
-		return core.New(opts), nil
-	}
-	return nil, fmt.Errorf("eval: unknown method %q", name)
-}
+func NewAlgorithm(name string) (fl.Algorithm, error) { return engine.NewAlgorithm(name) }
 
 // flSizing bundles the FL-simulation knobs that vary with Scale.
 type flSizing struct {
@@ -160,96 +181,54 @@ func iwildcamSizing(s Scale) iwildSizing {
 	}
 }
 
-// Scenario is a fully built federated experiment: environment, clients,
-// and evaluation sets. Clients are shared (read-only) across methods so
-// every method sees identical data, matching the paper's methodology.
-type Scenario struct {
-	Env     *fl.Env
-	Clients []*fl.Client
-	Val     *fl.EvalSet
-	Test    *fl.EvalSet
+// flSpec translates one (method, corpus, split, seed) cell into the
+// engine's canonical run description.
+func flSpec(datasetName string, genSeed uint64, split dataset.Split, lambda float64, sz flSizing, method string, seed uint64, evalEvery int, tag string) engine.Spec {
+	return engine.Spec{
+		Method:    method,
+		Dataset:   datasetName,
+		GenSeed:   genSeed,
+		Split:     engine.SplitSpec{Name: split.Name, Train: split.Train, Val: split.Val, Test: split.Test},
+		Lambda:    lambda,
+		Clients:   sz.NumClients,
+		SampleK:   sz.SampleK,
+		Rounds:    sz.Rounds,
+		PerDomain: sz.PerDomain,
+		EvalPer:   sz.EvalPer,
+		EvalEvery: evalEvery,
+		Seed:      seed,
+		Tag:       tag,
+	}
 }
 
-// buildScenario assembles a Scenario from a generator, a domain split, a
-// heterogeneity level, and FL sizing. The seed tag isolates dataset
-// randomness between schemes.
-func buildScenario(gen *synth.Generator, split dataset.Split, lambda float64, sz flSizing, seed uint64, parallelism int, tag string) (*Scenario, error) {
-	enc, err := encoder.New(encoder.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	c, h, w := enc.OutShape()
-	env := &fl.Env{
-		Enc:         enc,
-		ModelCfg:    nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: gen.Config().NumClasses},
-		Hyper:       fl.DefaultHyper(),
-		RNG:         rng.New(seed).Child("scenario", tag),
-		Parallelism: parallelism,
-	}
-
-	trainDomains := make([]*dataset.Dataset, 0, len(split.Train))
-	for _, d := range split.Train {
-		ds, err := gen.GenerateDomain(d, sz.PerDomain, tag+"-train")
+// submitAll submits every spec to the engine and waits for all results,
+// returned in spec order so accumulation stays deterministic regardless
+// of scheduling.
+func submitAll(eng *engine.Engine, specs []engine.Spec) ([]*engine.Result, error) {
+	jobs := make([]*engine.Job, len(specs))
+	for i, sp := range specs {
+		j, err := eng.Submit(sp, 0)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("eval: submit %s on %s/%s: %w", sp.Method, sp.Dataset, sp.Split.Name, err)
 		}
-		trainDomains = append(trainDomains, ds)
+		jobs[i] = j
 	}
-	if err := env.Calibrate(64, trainDomains...); err != nil {
-		return nil, err
-	}
-
-	parts, err := partition.PartitionByDomain(trainDomains, partition.Options{NumClients: sz.NumClients, Lambda: lambda}, env.RNG.Stream("partition"))
-	if err != nil {
-		return nil, err
-	}
-	clients, err := fl.NewClients(env, parts)
-	if err != nil {
-		return nil, err
-	}
-
-	sc := &Scenario{Env: env, Clients: clients}
-	if len(split.Val) > 0 {
-		ds, err := generateEval(gen, split.Val, sz.EvalPer, tag+"-val")
+	out := make([]*engine.Result, len(jobs))
+	for i, j := range jobs {
+		r, err := j.Wait(context.Background())
 		if err != nil {
-			return nil, err
+			// Best-effort: don't leave the rest of the sweep training
+			// after the run is already lost. Jobs shared with another
+			// sweep (coalesced submissions) are left alone — cancelling
+			// them would fail a run that may be healthy.
+			for _, other := range jobs {
+				if other.Submissions() == 1 {
+					_ = eng.Cancel(other.ID)
+				}
+			}
+			return nil, fmt.Errorf("eval: %s on %s/%s: %w", specs[i].Method, specs[i].Dataset, specs[i].Split.Name, err)
 		}
-		sc.Val, err = fl.NewEvalSet(env, ds)
-		if err != nil {
-			return nil, err
-		}
+		out[i] = r
 	}
-	if len(split.Test) > 0 {
-		ds, err := generateEval(gen, split.Test, sz.EvalPer, tag+"-test")
-		if err != nil {
-			return nil, err
-		}
-		sc.Test, err = fl.NewEvalSet(env, ds)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return sc, nil
-}
-
-func generateEval(gen *synth.Generator, domains []int, per int, tag string) (*dataset.Dataset, error) {
-	parts := make([]*dataset.Dataset, 0, len(domains))
-	for _, d := range domains {
-		ds, err := gen.GenerateDomain(d, per, tag)
-		if err != nil {
-			return nil, err
-		}
-		parts = append(parts, ds)
-	}
-	return dataset.Merge(parts...)
-}
-
-// runMethod executes one method on a scenario and returns its history.
-func runMethod(sc *Scenario, method string, rounds, sampleK, evalEvery int) (*fl.History, error) {
-	alg, err := NewAlgorithm(method)
-	if err != nil {
-		return nil, err
-	}
-	_, hist, err := fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{Rounds: rounds, SampleK: sampleK, EvalEvery: evalEvery})
-	return hist, err
+	return out, nil
 }

@@ -6,10 +6,10 @@ import (
 	"path/filepath"
 
 	"github.com/pardon-feddg/pardon/internal/dataset"
-	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/landscape"
+	"github.com/pardon-feddg/pardon/internal/nn"
 	"github.com/pardon-feddg/pardon/internal/report"
-	"github.com/pardon-feddg/pardon/internal/synth"
 )
 
 // LandscapeResult holds Fig. 1: loss-surface sharpness around the global
@@ -54,30 +54,41 @@ func RunLandscape(cfg Config, outDir string) (*LandscapeResult, error) {
 	sz.SampleK = 2
 	// Two clients, two domains (Photo and Art), unseen Sketch.
 	split := dataset.Split{Name: "fig1", Train: []int{0, 1}, Test: []int{3}}
-	gen, err := synth.New(spec.Gen)
+	eng := cfg.engine()
+
+	// Both training runs go through the engine with KeepModel so the
+	// trained global models come back with the (cacheable) results; the
+	// landscape probes below need the scenario itself, which the engine
+	// shares from its scenario cache.
+	specs := make([]engine.Spec, 0, 2)
+	for _, method := range []string{"FedAvg", "PARDON"} {
+		sp := flSpec(spec.Name, spec.Gen.Seed, split, 0.0, sz, method, cfg.Seed, 0, "fig1")
+		sp.KeepModel = true
+		specs = append(specs, sp)
+	}
+	results, err := submitAll(eng, specs)
 	if err != nil {
 		return nil, err
 	}
-	sc, err := buildScenario(gen, split, 0.0, sz, cfg.Seed, cfg.Parallelism, "fig1")
+	sc, err := eng.BuildScenario(specs[0])
 	if err != nil {
 		return nil, err
 	}
 
 	res := &LandscapeResult{}
-	for _, method := range []string{"FedAvg", "PARDON"} {
-		alg, err := NewAlgorithm(method)
+	for i, method := range []string{"FedAvg", "PARDON"} {
+		model, err := nn.New(sc.Env.ModelCfg, sc.Env.RNG.Stream("model-init"))
 		if err != nil {
 			return nil, err
 		}
-		model, hist, err := fl.Run(sc.Env, alg, sc.Clients, nil, sc.Test, fl.RunConfig{Rounds: sz.Rounds, SampleK: sz.SampleK})
-		if err != nil {
-			return nil, err
+		if err := model.SetParamVector(results[i].Model); err != nil {
+			return nil, fmt.Errorf("eval: fig1 %s model: %w", method, err)
 		}
 		grid, err := landscape.LossSurface(model, sc.Clients, 13, 0.5, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		sep, err := landscape.SeparationScore(model, sc.Test, gen.Config().NumClasses)
+		sep, err := landscape.SeparationScore(model, sc.Test, sc.Gen.Config().NumClasses)
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +96,11 @@ func RunLandscape(cfg Config, outDir string) (*LandscapeResult, error) {
 		case "FedAvg":
 			res.NaiveSharpness = grid.Sharpness()
 			res.NaiveSeparation = sep
-			res.NaiveAcc = hist.Final().TestAcc
+			res.NaiveAcc = results[i].Final().TestAcc
 		default:
 			res.PARDONSharpness = grid.Sharpness()
 			res.PARDONSeparation = sep
-			res.PARDONAcc = hist.Final().TestAcc
+			res.PARDONAcc = results[i].Final().TestAcc
 		}
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {

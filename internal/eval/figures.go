@@ -1,11 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/report"
-	"github.com/pardon-feddg/pardon/internal/synth"
 )
 
 // ConvergenceResult holds Fig. 3: test accuracy per round at each
@@ -52,33 +53,35 @@ func RunConvergence(cfg Config) (*ConvergenceResult, error) {
 		evalEvery = 2
 	}
 	seeds := cfg.seeds()
+	var specs []engine.Spec
 	for _, lambda := range res.Lambdas {
-		accs := map[string][]float64{}
 		for _, seed := range seeds {
-			genCfg := spec.Gen
-			genCfg.Seed = genCfg.Seed*7919 + seed
-			gen, err := synth.New(genCfg)
-			if err != nil {
-				return nil, err
-			}
-			sc, err := buildScenario(gen, split, lambda, spec.Sizing, seed, cfg.Parallelism, fmt.Sprintf("fig3-%.1f", lambda))
-			if err != nil {
-				return nil, err
-			}
+			genSeed := spec.Gen.Seed*7919 + seed
 			for _, m := range methods {
-				hist, err := runMethod(sc, m, spec.Sizing.Rounds, spec.Sizing.SampleK, evalEvery)
-				if err != nil {
-					return nil, fmt.Errorf("eval: fig3 %s λ=%.1f: %w", m, lambda, err)
-				}
+				specs = append(specs, flSpec(spec.Name, genSeed, split, lambda, spec.Sizing, m, seed, evalEvery, fmt.Sprintf("fig3-%.1f", lambda)))
+			}
+		}
+	}
+	results, err := submitAll(cfg.engine(), specs)
+	if err != nil {
+		return nil, err
+	}
+	ri := 0
+	for range res.Lambdas {
+		accs := map[string][]float64{}
+		for range seeds {
+			for _, m := range methods {
+				stats := results[ri].Stats
+				ri++
 				if accs[m] == nil {
-					accs[m] = make([]float64, len(hist.Stats))
+					accs[m] = make([]float64, len(stats))
 				}
 				if len(res.Rounds) == 0 {
-					for _, st := range hist.Stats {
+					for _, st := range stats {
 						res.Rounds = append(res.Rounds, st.Round)
 					}
 				}
-				for i, st := range hist.Stats {
+				for i, st := range stats {
 					accs[m][i] += st.TestAcc / float64(len(seeds))
 				}
 			}
@@ -125,22 +128,26 @@ func RunOverhead(cfg Config) (*OverheadResult, error) {
 		AvgAggregate:  map[string]float64{},
 	}
 	split := dataset.Split{Name: "fig4", Train: []int{0, 1, 2}, Test: []int{3}}
-	gen, err := synth.New(spec.Gen)
-	if err != nil {
-		return nil, err
-	}
-	sc, err := buildScenario(gen, split, DefaultLambda, spec.Sizing, cfg.Seed, cfg.Parallelism, "fig4")
-	if err != nil {
-		return nil, err
-	}
+	// All specs share one scenario (identical data and client schedules
+	// across methods), but this runner differs from the others in two
+	// ways because its output IS wall-clock timing: jobs are submitted
+	// fresh (a cached result would report another run's — possibly
+	// another machine's — timings) and each is awaited before the next
+	// is submitted so methods never contend with each other for CPU.
+	eng := cfg.engine()
 	for _, m := range methods {
-		hist, err := runMethod(sc, m, spec.Sizing.Rounds, spec.Sizing.SampleK, 0)
+		sp := flSpec(spec.Name, spec.Gen.Seed, split, DefaultLambda, spec.Sizing, m, cfg.Seed, 0, "fig4")
+		job, err := eng.SubmitFresh(sp, 0)
 		if err != nil {
 			return nil, fmt.Errorf("eval: fig4 %s: %w", m, err)
 		}
-		res.OneTime[m] = hist.Timing.Setup.Seconds()
-		res.AvgLocalTrain[m] = hist.Timing.AvgLocalTrain().Seconds()
-		res.AvgAggregate[m] = hist.Timing.AvgAggregate().Seconds()
+		r, err := job.Wait(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("eval: fig4 %s: %w", m, err)
+		}
+		res.OneTime[m] = r.Timing.SetupSec
+		res.AvgLocalTrain[m] = r.Timing.AvgLocalTrainSec()
+		res.AvgAggregate[m] = r.Timing.AvgAggregateSec()
 	}
 	return res, nil
 }
@@ -208,28 +215,29 @@ func RunClientScaling(cfg Config) (*ClientScalingResult, error) {
 		sz.PerDomain = (minTotal + len(split.Train) - 1) / len(split.Train)
 	}
 	seeds := cfg.seeds()
-	for ni, n := range res.Ns {
+	var specs []engine.Spec
+	for _, n := range res.Ns {
 		szN := sz
 		szN.NumClients = n
 		szN.SampleK = res.K
 		for _, seed := range seeds {
-			genCfg := spec.Gen
-			genCfg.Seed = genCfg.Seed*7919 + seed
-			gen, err := synth.New(genCfg)
-			if err != nil {
-				return nil, err
-			}
-			sc, err := buildScenario(gen, split, DefaultLambda, szN, seed, cfg.Parallelism, fmt.Sprintf("fig5-%d", n))
-			if err != nil {
-				return nil, err
-			}
+			genSeed := spec.Gen.Seed*7919 + seed
 			for _, m := range methods {
-				hist, err := runMethod(sc, m, szN.Rounds, szN.SampleK, 0)
-				if err != nil {
-					return nil, fmt.Errorf("eval: fig5 %s N=%d: %w", m, n, err)
-				}
-				res.Val[m][ni] += hist.Final().ValAcc / float64(len(seeds))
-				res.Test[m][ni] += hist.Final().TestAcc / float64(len(seeds))
+				specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, szN, m, seed, 0, fmt.Sprintf("fig5-%d", n)))
+			}
+		}
+	}
+	results, err := submitAll(cfg.engine(), specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for ni := range res.Ns {
+		for range seeds {
+			for _, m := range methods {
+				res.Val[m][ni] += results[i].Final().ValAcc / float64(len(seeds))
+				res.Test[m][ni] += results[i].Final().TestAcc / float64(len(seeds))
+				i++
 			}
 		}
 	}

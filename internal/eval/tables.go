@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/pardon-feddg/pardon/internal/dataset"
+	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/report"
 	"github.com/pardon-feddg/pardon/internal/synth"
 )
@@ -94,7 +95,9 @@ func (r *SplitTableResult) AvgVal(method string) float64 {
 }
 
 // runSplitScheme evaluates all methods on one scheme of one corpus,
-// averaging over cfg seeds.
+// averaging over cfg seeds. All (seed × method) runs are submitted to
+// the engine up front so they shard across its worker pool; results are
+// accumulated in submission order for determinism.
 func runSplitScheme(cfg Config, spec corpusSpec, split dataset.Split, methods []string, tag string) (SchemeResult, error) {
 	res := SchemeResult{
 		Scheme:  split,
@@ -102,26 +105,31 @@ func runSplitScheme(cfg Config, spec corpusSpec, split dataset.Split, methods []
 		TestAcc: map[string]float64{},
 	}
 	seeds := cfg.seeds()
+	var specs []engine.Spec
 	for _, seed := range seeds {
-		genCfg := spec.Gen
-		genCfg.Seed = genCfg.Seed*7919 + seed
-		gen, err := synth.New(genCfg)
-		if err != nil {
-			return res, err
-		}
-		res.ValName = gen.DomainName(split.Val[0])
-		res.Test = gen.DomainName(split.Test[0])
-		sc, err := buildScenario(gen, split, DefaultLambda, spec.Sizing, seed, cfg.Parallelism, tag)
-		if err != nil {
-			return res, fmt.Errorf("eval: scenario %s/%s: %w", spec.Name, split.Name, err)
-		}
+		genSeed := spec.Gen.Seed*7919 + seed
 		for _, m := range methods {
-			hist, err := runMethod(sc, m, spec.Sizing.Rounds, spec.Sizing.SampleK, 0)
-			if err != nil {
-				return res, fmt.Errorf("eval: %s on %s/%s: %w", m, spec.Name, split.Name, err)
-			}
-			res.ValAcc[m] += hist.Final().ValAcc / float64(len(seeds))
-			res.TestAcc[m] += hist.Final().TestAcc / float64(len(seeds))
+			specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, spec.Sizing, m, seed, 0, tag))
+		}
+	}
+	// Domain names come from a bare generator; sample generation happens
+	// inside the engine's scenario builder.
+	gen, err := synth.New(spec.Gen)
+	if err != nil {
+		return res, err
+	}
+	res.ValName = gen.DomainName(split.Val[0])
+	res.Test = gen.DomainName(split.Test[0])
+	results, err := submitAll(cfg.engine(), specs)
+	if err != nil {
+		return res, err
+	}
+	i := 0
+	for range seeds {
+		for _, m := range methods {
+			res.ValAcc[m] += results[i].Final().ValAcc / float64(len(seeds))
+			res.TestAcc[m] += results[i].Final().TestAcc / float64(len(seeds))
+			i++
 		}
 	}
 	return res, nil
@@ -230,25 +238,30 @@ func RunIWildCam(cfg Config) (*IWildCamResult, error) {
 	train, val, test := synth.IWildCamSplit(sz.NumDomains)
 	split := dataset.Split{Name: "iwildcam", Train: train, Val: val, Test: test}
 	seeds := cfg.seeds()
-	for li, lambda := range res.Lambdas {
+	var specs []engine.Spec
+	for _, lambda := range res.Lambdas {
 		for _, seed := range seeds {
-			genCfg := synth.IWildCamConfig(cfg.Seed+31, sz.NumDomains, sz.NumClasses, sz.ClassesPerDomain)
-			genCfg.Seed = genCfg.Seed*7919 + seed
-			gen, err := synth.New(genCfg)
-			if err != nil {
-				return nil, err
-			}
-			sc, err := buildScenario(gen, split, lambda, sz.flSizing, seed, cfg.Parallelism, fmt.Sprintf("iwild-%.1f", lambda))
-			if err != nil {
-				return nil, fmt.Errorf("eval: iwildcam λ=%.1f: %w", lambda, err)
-			}
+			genSeed := (cfg.Seed+31)*7919 + seed
 			for _, m := range methods {
-				hist, err := runMethod(sc, m, sz.Rounds, sz.SampleK, 0)
-				if err != nil {
-					return nil, fmt.Errorf("eval: %s on iwildcam λ=%.1f: %w", m, lambda, err)
-				}
-				res.Val[m][li] += hist.Final().ValAcc / float64(len(seeds))
-				res.Test[m][li] += hist.Final().TestAcc / float64(len(seeds))
+				sp := flSpec("IWildCam", genSeed, split, lambda, sz.flSizing, m, seed, 0, fmt.Sprintf("iwild-%.1f", lambda))
+				sp.NumDomains = sz.NumDomains
+				sp.NumClasses = sz.NumClasses
+				sp.ClassesPerDomain = sz.ClassesPerDomain
+				specs = append(specs, sp)
+			}
+		}
+	}
+	results, err := submitAll(cfg.engine(), specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for li := range res.Lambdas {
+		for range seeds {
+			for _, m := range methods {
+				res.Val[m][li] += results[i].Final().ValAcc / float64(len(seeds))
+				res.Test[m][li] += results[i].Final().TestAcc / float64(len(seeds))
+				i++
 			}
 		}
 	}
@@ -295,24 +308,23 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		Test:     map[string]float64{},
 	}
 	seeds := cfg.seeds()
+	var specs []engine.Spec
 	for _, seed := range seeds {
-		genCfg := spec.Gen
-		genCfg.Seed = genCfg.Seed*7919 + seed
-		gen, err := synth.New(genCfg)
-		if err != nil {
-			return nil, err
-		}
-		sc, err := buildScenario(gen, split, DefaultLambda, spec.Sizing, seed, cfg.Parallelism, "ablation")
-		if err != nil {
-			return nil, err
-		}
+		genSeed := spec.Gen.Seed*7919 + seed
 		for _, v := range res.Variants {
-			hist, err := runMethod(sc, "PARDON-"+v, spec.Sizing.Rounds, spec.Sizing.SampleK, 0)
-			if err != nil {
-				return nil, fmt.Errorf("eval: ablation %s: %w", v, err)
-			}
-			res.Val[v] += hist.Final().ValAcc / float64(len(seeds))
-			res.Test[v] += hist.Final().TestAcc / float64(len(seeds))
+			specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, spec.Sizing, "PARDON-"+v, seed, 0, "ablation"))
+		}
+	}
+	results, err := submitAll(cfg.engine(), specs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for range seeds {
+		for _, v := range res.Variants {
+			res.Val[v] += results[i].Final().ValAcc / float64(len(seeds))
+			res.Test[v] += results[i].Final().TestAcc / float64(len(seeds))
+			i++
 		}
 	}
 	return res, nil

@@ -15,6 +15,7 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -353,6 +354,15 @@ type RunConfig struct {
 	// EvalEvery evaluates every that-many rounds (and always on the last
 	// round). 0 means only the last round.
 	EvalEvery int
+	// Context, when non-nil, aborts the run at the next round boundary
+	// once cancelled; Run then returns the context's error. Rounds in
+	// flight are finished, so determinism of completed rounds is kept.
+	Context context.Context
+	// OnRound, when non-nil, is invoked from the coordinating goroutine
+	// after every completed round with the 1-based round number and the
+	// total round count. It must not block for long: local training of
+	// the next round waits on it.
+	OnRound func(round, total int)
 }
 
 // Run executes a federated training run and returns the final global model
@@ -386,6 +396,11 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 	}
 
 	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, nil, fmt.Errorf("fl: %s cancelled before round %d: %w", alg.Name(), round, err)
+			}
+		}
 		ids := partition.SampleClients(len(clients), cfg.SampleK, env.RNG.StreamI("client-sampling", round))
 		parts := make([]*Client, len(ids))
 		for i, id := range ids {
@@ -441,6 +456,9 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 				}
 			}
 			hist.Stats = append(hist.Stats, rs)
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(round+1, cfg.Rounds)
 		}
 	}
 	return global, hist, nil
