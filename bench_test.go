@@ -20,6 +20,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
 	"github.com/pardon-feddg/pardon/internal/finch"
+	"github.com/pardon-feddg/pardon/internal/fl"
 	"github.com/pardon-feddg/pardon/internal/nn"
 	"github.com/pardon-feddg/pardon/internal/style"
 	"github.com/pardon-feddg/pardon/internal/synth"
@@ -336,6 +337,134 @@ func BenchmarkClientStyle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.ClientStyle(feats, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Kernel micro-benchmarks: blocked parallel kernels vs the naive
+// serial reference (the ≥2× CI acceptance target at GOMAXPROCS≥4 reads
+// the 256³ pair) ---
+
+func benchKernelOperands(seed1, seed2 int64, m, k, n int) (*tensor.Tensor, *tensor.Tensor) {
+	a := tensor.Randn(rand.New(rand.NewSource(seed1)), 1, m, k)
+	bm := tensor.Randn(rand.New(rand.NewSource(seed2)), 1, k, n)
+	return a, bm
+}
+
+func BenchmarkMatMul256Serial(b *testing.B) {
+	a, bm := benchKernelOperands(10, 11, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMulSerial(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul256Parallel(b *testing.B) {
+	a, bm := benchKernelOperands(10, 11, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMul(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulATB256Serial(b *testing.B) {
+	a, bm := benchKernelOperands(12, 13, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMulATBSerial(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulATB256Parallel(b *testing.B) {
+	a, bm := benchKernelOperands(12, 13, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMulATB(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulABT256Serial(b *testing.B) {
+	a, bm := benchKernelOperands(14, 15, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMulABTSerial(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulABT256Parallel(b *testing.B) {
+	a, bm := benchKernelOperands(14, 15, 256, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tensor.MatMulABT(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelTrainStepReuse measures the fused forward/backward path
+// with activation and scratch reuse — the per-batch cost every local
+// training loop pays.
+func BenchmarkModelTrainStepReuse(b *testing.B) {
+	m, err := nn.New(nn.Config{In: 1024, Hidden: 64, ZDim: 32, Classes: 7}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.Randn(rand.New(rand.NewSource(5)), 1, 32, 1024)
+	grads := m.NewGrads()
+	dLogits := tensor.Randn(rand.New(rand.NewSource(6)), 0.1, 32, 7)
+	acts := &nn.Activations{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ForwardInto(acts, x); err != nil {
+			b.Fatal(err)
+		}
+		grads.Zero()
+		if err := m.Backward(acts, dLogits, nil, grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Round-throughput macro-benchmark: one full federated round (client
+// sampling, parallel local training, aggregation) through the kernel
+// layer, the unit of work behind every table and figure ---
+
+func BenchmarkRoundThroughput(b *testing.B) {
+	eng, err := engine.New(engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	spec := engine.Spec{
+		Method: "FedAvg", Dataset: "PACS", GenSeed: 1,
+		Split:  engine.SplitSpec{Name: "bench", Train: []int{0, 1, 2}},
+		Lambda: 0.1, Clients: 8, SampleK: 4, Rounds: 1, PerDomain: 16,
+		Seed: 1, Tag: "round-bench",
+	}
+	sc, err := eng.BuildScenario(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := engine.NewAlgorithm(spec.Method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fl.Run(sc.Env, alg, sc.Clients, nil, nil,
+			fl.RunConfig{Rounds: 1, SampleK: spec.SampleK}); err != nil {
 			b.Fatal(err)
 		}
 	}

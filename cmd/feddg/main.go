@@ -92,11 +92,12 @@ func serve(args []string) error {
 		addrFlag    = fs.String("addr", ":8080", "listen address")
 		cacheFlag   = fs.String("cache", "feddg-cache", "result-cache directory (empty = in-memory only)")
 		workersFlag = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
+		parFlag     = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag})
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, Parallelism: *parFlag})
 	if err != nil {
 		return err
 	}

@@ -78,13 +78,13 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 				for i := range zd {
 					zd[i] += r.NormFloat64() * f.NoiseStd
 				}
-				// Recompute logits from the noisy embedding.
-				logits, err := tensor.MatMul(acts.Z, model.WC)
-				if err != nil {
+				// Recompute logits from the noisy embedding, in place:
+				// the clean logits are never consumed, so their buffer
+				// is reused instead of allocating a fresh tensor.
+				if err := tensor.MatMulInto(acts.Logits, acts.Z, model.WC); err != nil {
 					return nil, err
 				}
-				addRow(logits, model.BC)
-				acts.Logits = logits
+				addRow(acts.Logits, model.BC)
 			}
 			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
 			if err != nil {
@@ -96,7 +96,7 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 			if err != nil {
 				return nil, err
 			}
-			if err := dz.AddScaled(f.L2RCoef, dzL2); err != nil {
+			if err := tensor.AddScaledInto(dz, dz, f.L2RCoef, dzL2); err != nil {
 				return nil, err
 			}
 			// CMI surrogate: α·‖z − μ̂_y‖².
@@ -109,7 +109,7 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 			if err != nil {
 				return nil, err
 			}
-			if err := dz.AddScaled(f.CMICoef, dzCMI); err != nil {
+			if err := tensor.AddScaledInto(dz, dz, f.CMICoef, dzCMI); err != nil {
 				return nil, err
 			}
 			grads.Zero()

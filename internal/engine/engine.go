@@ -291,7 +291,10 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 		Rounds:    spec.Rounds,
 		SampleK:   spec.SampleK,
 		EvalEvery: spec.EvalEvery,
-		Context:   ctx,
+		// Per-job CPU bound: the spec's hint wins, else the engine-wide
+		// per-job parallelism (already in sc.Env) applies.
+		Parallelism: spec.Parallelism,
+		Context:     ctx,
 		OnRound: func(round, total int) {
 			e.rounds.Add(1)
 			j.progress(round, total)

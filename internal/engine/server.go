@@ -48,6 +48,11 @@ type SubmitRequest struct {
 	// Wait blocks the request until the job is terminal and inlines the
 	// result into the response.
 	Wait bool `json:"wait"`
+	// Parallelism bounds the job's local-training worker pool (0 =
+	// engine default). It rides outside the spec object because it is
+	// an execution hint that never changes the result or the spec's
+	// content-address (see Spec.Parallelism).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // JobView is the wire representation of a job.
@@ -131,6 +136,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	req.Spec.Parallelism = req.Parallelism
 	j, err := s.engine.Submit(req.Spec, req.Priority)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -73,6 +73,15 @@ type Spec struct {
 	NumDomains       int
 	NumClasses       int
 	ClassesPerDomain int
+	// Parallelism bounds the job's local-training worker pool (0 adopts
+	// the engine default). It is an execution hint, not part of the
+	// experiment: the kernels' fixed accumulation order makes results
+	// bit-identical at any parallelism, so the field is excluded from
+	// the canonical encoding (json:"-") and does NOT change the Spec's
+	// content-address. Two submissions differing only here coalesce
+	// onto one job. The HTTP API carries it in the submit request body,
+	// outside the spec object.
+	Parallelism int `json:"-"`
 }
 
 // Canonical returns the deterministic encoding that is hashed into the
@@ -139,6 +148,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Lambda < 0 {
 		return fmt.Errorf("engine: negative lambda %g", s.Lambda)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("engine: negative parallelism %d", s.Parallelism)
 	}
 	return nil
 }

@@ -1,0 +1,48 @@
+package engine
+
+import "testing"
+
+// TestSpecHashIgnoresParallelism pins the contract that Parallelism is an
+// execution hint: two Specs differing only in it share one content-address
+// (so cached results are reused across parallelism settings), while every
+// result-bearing field still perturbs the hash.
+func TestSpecHashIgnoresParallelism(t *testing.T) {
+	base := Spec{
+		Method: "PARDON", Dataset: "PACS", GenSeed: 1,
+		Split:  SplitSpec{Name: "s", Train: []int{0, 1}, Test: []int{3}},
+		Lambda: 0.1, Clients: 4, SampleK: 2, Rounds: 1, PerDomain: 8, EvalPer: 8,
+		Seed: 1,
+	}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 64} {
+		sp := base
+		sp.Parallelism = par
+		h, err := sp.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != h0 {
+			t.Fatalf("Parallelism=%d changed hash: %s vs %s", par, h, h0)
+		}
+	}
+	changed := base
+	changed.Rounds = 2
+	if h, _ := changed.Hash(); h == h0 {
+		t.Fatal("Rounds change did not perturb hash")
+	}
+}
+
+func TestSpecValidateRejectsNegativeParallelism(t *testing.T) {
+	sp := Spec{
+		Method: "PARDON", Dataset: "PACS", GenSeed: 1,
+		Split:  SplitSpec{Name: "s", Train: []int{0, 1}, Test: []int{3}},
+		Lambda: 0.1, Clients: 4, SampleK: 2, Rounds: 1, PerDomain: 8, EvalPer: 8,
+		Parallelism: -1,
+	}
+	if err := sp.Validate(); err == nil {
+		t.Fatal("negative Parallelism accepted")
+	}
+}

@@ -363,6 +363,13 @@ type RunConfig struct {
 	// total round count. It must not block for long: local training of
 	// the next round waits on it.
 	OnRound func(round, total int)
+	// Parallelism bounds this run's local-training worker pool; 0 falls
+	// back to Env.Parallelism, then NumCPU. It is a pure scheduling
+	// knob: every stochastic choice draws from named rng streams and the
+	// tensor kernels accumulate in a fixed order, so any value produces
+	// bit-identical results. Use it to bound one run's CPU while other
+	// runs (engine jobs) share the machine.
+	Parallelism int
 }
 
 // Run executes a federated training run and returns the final global model
@@ -390,7 +397,10 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 	}
 	hist.Timing.Setup = time.Since(setupStart)
 
-	par := env.Parallelism
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = env.Parallelism
+	}
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
@@ -472,14 +482,16 @@ func accuracyOn(m *nn.Model, es *EvalSet) (float64, error) {
 	data := es.X.Data()
 	correct := 0
 	const batch = 128
+	// One reusable activation set serves every full-size batch; only the
+	// ragged final batch reallocates.
+	acts := &nn.Activations{}
 	for start := 0; start < n; start += batch {
 		end := start + batch
 		if end > n {
 			end = n
 		}
 		bt := tensor.MustFromSlice(data[start*d:end*d], end-start, d)
-		acts, err := m.Forward(bt)
-		if err != nil {
+		if err := m.ForwardInto(acts, bt); err != nil {
 			return 0, err
 		}
 		c := acts.Logits.Dim(1)

@@ -1,9 +1,11 @@
 package fl_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"github.com/pardon-feddg/pardon/internal/baselines"
 	"github.com/pardon-feddg/pardon/internal/dataset"
 	"github.com/pardon-feddg/pardon/internal/encoder"
 	"github.com/pardon-feddg/pardon/internal/fl"
@@ -275,5 +277,46 @@ func TestTimingAverages(t *testing.T) {
 	var tm fl.Timing
 	if tm.AvgLocalTrain() != 0 || tm.AvgAggregate() != 0 {
 		t.Fatal("zero-count averages should be 0")
+	}
+}
+
+// TestRunParallelismBitIdentical pins the kernel-layer determinism
+// guarantee end to end: a real training run (FedAvg local SGD through the
+// parallel matmul kernels) must produce bit-identical global parameters at
+// every RunConfig.Parallelism setting.
+func TestRunParallelismBitIdentical(t *testing.T) {
+	env, gen := testEnv(t)
+	var parts []*dataset.Dataset
+	for i := 0; i < 4; i++ {
+		ds, err := gen.GenerateDomain(i%2, 10, "par")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ds)
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	for _, par := range []int{1, 3} {
+		model, _, err := fl.Run(env, &baselines.FedAvg{}, clients, nil, nil,
+			fl.RunConfig{Rounds: 2, SampleK: 3, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := model.ParamVector()
+		if ref == nil {
+			ref = vec
+			continue
+		}
+		if len(vec) != len(ref) {
+			t.Fatalf("param count %d vs %d", len(vec), len(ref))
+		}
+		for i := range vec {
+			if math.Float64bits(vec[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("Parallelism=%d diverges at param %d: %g vs %g", par, i, vec[i], ref[i])
+			}
+		}
 	}
 }

@@ -219,8 +219,11 @@ func EmbedL2(z, zp *tensor.Tensor) (float64, *tensor.Tensor, *tensor.Tensor, err
 	}
 	b := z.Dim(0)
 	invB := 1.0 / float64(b)
+	scale := func(v float64) float64 { return v * (2 * invB) }
 	total := 0.0
-	dz := z.Clone().Scale(2 * invB)
+	// Single fused sweep per operand instead of clone-then-scale.
+	dz := tensor.New(z.Shape()...)
+	_ = tensor.ApplyInto(dz, z, scale)
 	for _, v := range z.Data() {
 		total += v * v
 	}
@@ -229,7 +232,8 @@ func EmbedL2(z, zp *tensor.Tensor) (float64, *tensor.Tensor, *tensor.Tensor, err
 		if !tensor.SameShape(z, zp) {
 			return 0, nil, nil, fmt.Errorf("loss: EmbedL2 shapes %v vs %v", z.Shape(), zp.Shape())
 		}
-		dzp = zp.Clone().Scale(2 * invB)
+		dzp = tensor.New(zp.Shape()...)
+		_ = tensor.ApplyInto(dzp, zp, scale)
 		for _, v := range zp.Data() {
 			total += v * v
 		}

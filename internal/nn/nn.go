@@ -117,28 +117,56 @@ type Activations struct {
 	Logits *tensor.Tensor // (B, Classes)
 }
 
-// Forward runs the full model on a batch X of shape (B, In).
+// Forward runs the full model on a batch X of shape (B, In), allocating
+// fresh activations. Hot loops that can reuse buffers across batches
+// should call ForwardInto instead.
 func (m *Model) Forward(x *tensor.Tensor) (*Activations, error) {
+	acts := &Activations{}
+	if err := m.ForwardInto(acts, x); err != nil {
+		return nil, err
+	}
+	return acts, nil
+}
+
+// ForwardInto runs the full model on a batch X of shape (B, In), writing
+// into acts. Activation tensors already shaped for this batch size are
+// reused in place (zero allocations steady-state); others are allocated.
+// The caller must not reuse acts while a previous batch's activations are
+// still needed.
+func (m *Model) ForwardInto(acts *Activations, x *tensor.Tensor) error {
 	if x.Dims() != 2 || x.Dim(1) != m.Cfg.In {
-		return nil, fmt.Errorf("nn: input shape %v, want (B,%d)", x.Shape(), m.Cfg.In)
+		return fmt.Errorf("nn: input shape %v, want (B,%d)", x.Shape(), m.Cfg.In)
 	}
-	hPre, err := tensor.MatMul(x, m.W1)
-	if err != nil {
-		return nil, err
+	b := x.Dim(0)
+	acts.X = x
+	acts.HPre = ensure2D(acts.HPre, b, m.Cfg.Hidden)
+	if err := tensor.MatMulInto(acts.HPre, x, m.W1); err != nil {
+		return err
 	}
-	addRowVector(hPre, m.B1)
-	h := hPre.Clone().Apply(relu)
-	z, err := tensor.MatMul(h, m.W2)
-	if err != nil {
-		return nil, err
+	addRowVector(acts.HPre, m.B1)
+	acts.H = ensure2D(acts.H, b, m.Cfg.Hidden)
+	if err := tensor.ApplyInto(acts.H, acts.HPre, relu); err != nil {
+		return err
 	}
-	addRowVector(z, m.B2)
-	logits, err := tensor.MatMul(z, m.WC)
-	if err != nil {
-		return nil, err
+	acts.Z = ensure2D(acts.Z, b, m.Cfg.ZDim)
+	if err := tensor.MatMulInto(acts.Z, acts.H, m.W2); err != nil {
+		return err
 	}
-	addRowVector(logits, m.BC)
-	return &Activations{X: x, HPre: hPre, H: h, Z: z, Logits: logits}, nil
+	addRowVector(acts.Z, m.B2)
+	acts.Logits = ensure2D(acts.Logits, b, m.Cfg.Classes)
+	if err := tensor.MatMulInto(acts.Logits, acts.Z, m.WC); err != nil {
+		return err
+	}
+	addRowVector(acts.Logits, m.BC)
+	return nil
+}
+
+// ensure2D returns t when it is already an (r,c) tensor, else a fresh one.
+func ensure2D(t *tensor.Tensor, r, c int) *tensor.Tensor {
+	if t != nil && t.Dims() == 2 && t.Dim(0) == r && t.Dim(1) == c {
+		return t
+	}
+	return tensor.New(r, c)
 }
 
 // Embed returns only the embedding Z for a batch (no classifier).
@@ -150,9 +178,19 @@ func (m *Model) Embed(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return acts.Z, nil
 }
 
-// Grads accumulates parameter gradients; layout mirrors Model.
+// Grads accumulates parameter gradients; layout mirrors Model. It also
+// carries the backprop scratch buffers, which Backward reuses across
+// batches so a local-training loop allocates no temporaries steady-state.
 type Grads struct {
 	W1, B1, W2, B2, WC, BC *tensor.Tensor
+
+	// scratch holds Backward's temporaries: weight-gradient staging
+	// (fixed shapes) and the dZ/dH flows (reallocated only when the
+	// batch size changes). Grads must not be shared across goroutines.
+	scratch struct {
+		gW1, gW2, gWC *tensor.Tensor
+		dZ, dH        *tensor.Tensor
+	}
 }
 
 // NewGrads allocates zeroed gradients for m.
@@ -184,26 +222,27 @@ func (g *Grads) Params() []*tensor.Tensor {
 // prototype losses), also optional.
 func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, grads *Grads) error {
 	b := acts.X.Dim(0)
-	var dZ *tensor.Tensor
+	sc := &grads.scratch
+	sc.dZ = ensure2D(sc.dZ, b, m.Cfg.ZDim)
+	dZ := sc.dZ
 	if dLogits != nil {
 		if dLogits.Dim(0) != b || dLogits.Dim(1) != m.Cfg.Classes {
 			return fmt.Errorf("nn: dLogits shape %v, want (%d,%d)", dLogits.Shape(), b, m.Cfg.Classes)
 		}
-		// Classifier grads.
-		gWC, err := tensor.MatMulATB(acts.Z, dLogits)
-		if err != nil {
+		// Classifier grads, staged through the reusable scratch tensor.
+		sc.gWC = ensure2D(sc.gWC, m.Cfg.ZDim, m.Cfg.Classes)
+		if err := tensor.MatMulATBInto(sc.gWC, acts.Z, dLogits); err != nil {
 			return err
 		}
-		if err := grads.WC.AddInPlace(gWC); err != nil {
+		if err := grads.WC.AddInPlace(sc.gWC); err != nil {
 			return err
 		}
 		addColumnSums(grads.BC, dLogits)
-		dZ, err = tensor.MatMulABT(dLogits, m.WC)
-		if err != nil {
+		if err := tensor.MatMulABTInto(dZ, dLogits, m.WC); err != nil {
 			return err
 		}
 	} else {
-		dZ = tensor.New(b, m.Cfg.ZDim)
+		dZ.Zero()
 	}
 	if dZExtra != nil {
 		if err := dZ.AddInPlace(dZExtra); err != nil {
@@ -211,16 +250,17 @@ func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, gra
 		}
 	}
 	// Layer 2.
-	gW2, err := tensor.MatMulATB(acts.H, dZ)
-	if err != nil {
+	sc.gW2 = ensure2D(sc.gW2, m.Cfg.Hidden, m.Cfg.ZDim)
+	if err := tensor.MatMulATBInto(sc.gW2, acts.H, dZ); err != nil {
 		return err
 	}
-	if err := grads.W2.AddInPlace(gW2); err != nil {
+	if err := grads.W2.AddInPlace(sc.gW2); err != nil {
 		return err
 	}
 	addColumnSums(grads.B2, dZ)
-	dH, err := tensor.MatMulABT(dZ, m.W2)
-	if err != nil {
+	sc.dH = ensure2D(sc.dH, b, m.Cfg.Hidden)
+	dH := sc.dH
+	if err := tensor.MatMulABTInto(dH, dZ, m.W2); err != nil {
 		return err
 	}
 	// ReLU gate.
@@ -232,11 +272,11 @@ func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, gra
 		}
 	}
 	// Layer 1.
-	gW1, err := tensor.MatMulATB(acts.X, dH)
-	if err != nil {
+	sc.gW1 = ensure2D(sc.gW1, m.Cfg.In, m.Cfg.Hidden)
+	if err := tensor.MatMulATBInto(sc.gW1, acts.X, dH); err != nil {
 		return err
 	}
-	if err := grads.W1.AddInPlace(gW1); err != nil {
+	if err := grads.W1.AddInPlace(sc.gW1); err != nil {
 		return err
 	}
 	addColumnSums(grads.B1, dH)

@@ -267,3 +267,44 @@ func TestGradsZero(t *testing.T) {
 		t.Fatal("Zero failed")
 	}
 }
+
+// TestForwardIntoReusesBuffers checks that ForwardInto keeps the
+// activation tensors across same-size batches (no steady-state
+// allocation), reallocates on batch-size change, and matches Forward.
+func TestForwardIntoReusesBuffers(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	m, err := nn.New(nn.Config{In: 12, Hidden: 8, ZDim: 6, Classes: 4}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := tensor.Randn(r, 1, 5, 12)
+	x2 := tensor.Randn(r, 1, 5, 12)
+
+	acts := &nn.Activations{}
+	if err := m.ForwardInto(acts, x1); err != nil {
+		t.Fatal(err)
+	}
+	hPre, h, z, logits := acts.HPre, acts.H, acts.Z, acts.Logits
+	if err := m.ForwardInto(acts, x2); err != nil {
+		t.Fatal(err)
+	}
+	if acts.HPre != hPre || acts.H != h || acts.Z != z || acts.Logits != logits {
+		t.Fatal("ForwardInto reallocated buffers for a same-size batch")
+	}
+	want, err := m.Forward(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range acts.Logits.Data() {
+		if v != want.Logits.Data()[i] {
+			t.Fatalf("ForwardInto logits[%d] = %g, want %g", i, v, want.Logits.Data()[i])
+		}
+	}
+	x3 := tensor.Randn(r, 1, 3, 12)
+	if err := m.ForwardInto(acts, x3); err != nil {
+		t.Fatal(err)
+	}
+	if acts.Logits == logits || acts.Logits.Dim(0) != 3 {
+		t.Fatal("ForwardInto did not reshape for a different batch size")
+	}
+}

@@ -1,0 +1,46 @@
+package tensor
+
+// Test-only hooks: run the blocked range kernels over an explicit row
+// partition, so tests can prove the outputs are invariant to how rows are
+// split across workers (the determinism guarantee of DESIGN.md §5)
+// without depending on GOMAXPROCS.
+
+// MatMulWithSplits computes a@b applying matMulRange over each
+// [bounds[i], bounds[i+1]) row range. bounds must start at 0 and end at m.
+func MatMulWithSplits(a, b *Tensor, bounds []int) (*Tensor, error) {
+	m, k, n, err := matMulDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for i := 0; i+1 < len(bounds); i++ {
+		matMulRange(a.data, b.data, out.data, k, n, bounds[i], bounds[i+1])
+	}
+	return out, nil
+}
+
+// MatMulATBWithSplits is MatMulWithSplits for the aᵀ@b kernel.
+func MatMulATBWithSplits(a, b *Tensor, bounds []int) (*Tensor, error) {
+	k, m, n, err := matMulATBDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for i := 0; i+1 < len(bounds); i++ {
+		matMulATBRange(a.data, b.data, out.data, k, m, n, bounds[i], bounds[i+1])
+	}
+	return out, nil
+}
+
+// MatMulABTWithSplits is MatMulWithSplits for the a@bᵀ kernel.
+func MatMulABTWithSplits(a, b *Tensor, bounds []int) (*Tensor, error) {
+	m, k, n, err := matMulABTDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for i := 0; i+1 < len(bounds); i++ {
+		matMulABTRange(a.data, b.data, out.data, k, n, bounds[i], bounds[i+1])
+	}
+	return out, nil
+}

@@ -1,0 +1,414 @@
+// Kernel layer: parallel, cache-blocked implementations of the matrix
+// products behind every forward/backward pass, plus fused element-wise
+// helpers that let hot loops reuse buffers instead of allocating per batch.
+//
+// Design (see DESIGN.md §5):
+//
+//   - Row-panel tiling + parallelism. The cache tile is a panel of output
+//     rows: each row stays L1-resident through all k of its accumulations
+//     while b streams contiguously. Each pool task owns a disjoint panel,
+//     so workers never write the same element and need no synchronization
+//     beyond the completion WaitGroup.
+//   - Fixed accumulation order. Every output element accumulates its k terms
+//     in ascending-p order no matter how rows are split across workers, so
+//     results are bit-identical to the serial reference kernels at any
+//     parallelism — the property that keeps the engine's content-addressed
+//     result cache sound.
+//   - Shared worker pool. One pool of GOMAXPROCS goroutines (started on
+//     first use) serves every kernel call in the process; per-run knobs
+//     (fl.RunConfig.Parallelism, engine Spec.Parallelism) bound how many
+//     training goroutines feed it, while the pool itself bounds total
+//     kernel CPU at GOMAXPROCS.
+//   - Serial threshold. Products below serialFlopCutoff multiply-adds run
+//     inline: small eval-time matmuls cost less than a goroutine handoff.
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// serialFlopCutoff is the multiply-add count below which kernels stay
+// serial; ~64k madds run in a few microseconds, on the order of the
+// cost of dispatching to the pool.
+const serialFlopCutoff = 1 << 16
+
+// kernelTask is one row panel handed to the pool.
+type kernelTask struct {
+	run    func(lo, hi int)
+	lo, hi int
+	done   *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolSize  int
+	poolTasks chan kernelTask
+)
+
+// pool starts the shared worker pool on first use, sized by GOMAXPROCS at
+// that moment, and returns its task channel.
+func pool() chan kernelTask {
+	poolOnce.Do(func() {
+		poolSize = runtime.GOMAXPROCS(0)
+		poolTasks = make(chan kernelTask, 4*poolSize)
+		for w := 0; w < poolSize; w++ {
+			go func() {
+				for t := range poolTasks {
+					t.run(t.lo, t.hi)
+					t.done.Done()
+				}
+			}()
+		}
+	})
+	return poolTasks
+}
+
+// parallelRows splits [0,rows) into one contiguous chunk per worker and
+// runs body on each. The caller always executes the final chunk itself,
+// and submission never blocks: when the pool is saturated (other kernel
+// calls in flight) the chunk runs inline on the caller, so progress is
+// guaranteed and nested deadlock is impossible. Row ownership is disjoint,
+// so body invocations are data-race free by construction.
+func parallelRows(rows int, body func(lo, hi int)) {
+	ch := pool()
+	tasks := poolSize
+	if tasks > rows {
+		tasks = rows
+	}
+	if tasks <= 1 {
+		body(0, rows)
+		return
+	}
+	chunk := (rows + tasks - 1) / tasks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < rows {
+		t := kernelTask{run: body, lo: lo, hi: lo + chunk, done: &wg}
+		wg.Add(1)
+		select {
+		case ch <- t:
+		default:
+			body(t.lo, t.hi)
+			wg.Done()
+		}
+		lo += chunk
+	}
+	body(lo, rows)
+	wg.Wait()
+}
+
+// --- row-panel range kernels ---
+//
+// Each computes output rows [lo,hi) only — the panel is the cache tile.
+// The loop order keeps every output row L1-resident through all k of its
+// accumulations while b streams contiguously (prefetch-friendly) and is
+// shared read-only by all panels. Explicit k- and n-axis tiling was
+// benchmarked against this layout and lost at every shape the system
+// hits, including cache-exceeding 1024³ (see DESIGN.md §5); the panel
+// scheme also makes every output element accumulate its p terms in
+// ascending order no matter how rows are split across workers, so results
+// are bit-identical to the serial reference at any parallelism — the
+// property that keeps the engine's content-addressed result cache sound.
+
+// matMulRange: out[i,j] += Σ_p a[i,p]·b[p,j] for i in [lo,hi).
+// out rows must be zeroed. Skips a-zeros like the serial reference.
+func matMulRange(a, b, out []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// matMulATBRange: out[i,j] += Σ_p a[p,i]·b[p,j] (a is k×m) for i in
+// [lo,hi). p stays outermost so each b row is L1-hot across the panel's
+// rows, exactly like the serial reference; out rows must be zeroed.
+func matMulATBRange(a, b, out []float64, k, m, n, lo, hi int) {
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			oi := out[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// matMulABTRange: out[i,j] = Σ_p a[i,p]·b[j,p] (b is n×k) for i in
+// [lo,hi). Assigns every cell, so out need not be zeroed.
+func matMulABTRange(a, b, out []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+}
+
+// dispatch runs body over [0,rows) — inline below the work threshold,
+// across the pool above it.
+func dispatch(rows, madds int, body func(lo, hi int)) {
+	if madds < serialFlopCutoff {
+		body(0, rows)
+		return
+	}
+	parallelRows(rows, body)
+}
+
+// --- shape validation shared by the public entry points ---
+
+func matMulDims(a, b *Tensor) (m, k, n int, err error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmul needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k = a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
+	}
+	return m, k, n, nil
+}
+
+func matMulATBDims(a, b *Tensor) (k, m, n int, err error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmulATB needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	k, m = a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmulATB outer dims %d vs %d", k, k2)
+	}
+	return k, m, n, nil
+}
+
+func matMulABTDims(a, b *Tensor) (m, k, n int, err error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmulABT needs 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k = a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		return 0, 0, 0, fmt.Errorf("tensor: matmulABT inner dims %d vs %d", k, k2)
+	}
+	return m, k, n, nil
+}
+
+func checkOut(out *Tensor, r, c int, name string) error {
+	if out.Dims() != 2 || out.shape[0] != r || out.shape[1] != c {
+		return fmt.Errorf("tensor: %s out shape %v, want (%d,%d)", name, out.shape, r, c)
+	}
+	return nil
+}
+
+// --- public kernels ---
+
+// MatMul returns a@b for a of shape (m,k) and b of shape (k,n), computed
+// by the blocked kernel — in parallel over row panels above the work
+// threshold, serially below it. Bit-identical to MatMulSerial.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	m, k, n, err := matMulDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	dispatch(m, m*k*n, func(lo, hi int) { matMulRange(a.data, b.data, out.data, k, n, lo, hi) })
+	return out, nil
+}
+
+// MatMulInto computes a@b into out (shape (m,n)), overwriting it. out must
+// not alias a or b. Reusing out across batches removes the per-call
+// allocation of MatMul.
+func MatMulInto(out, a, b *Tensor) error {
+	m, k, n, err := matMulDims(a, b)
+	if err != nil {
+		return err
+	}
+	if err := checkOut(out, m, n, "matmul"); err != nil {
+		return err
+	}
+	out.Zero()
+	dispatch(m, m*k*n, func(lo, hi int) { matMulRange(a.data, b.data, out.data, k, n, lo, hi) })
+	return nil
+}
+
+// MatMulATB returns aᵀ@b for a of shape (k,m) and b of shape (k,n).
+// Used in backprop for weight gradients without materializing transposes.
+func MatMulATB(a, b *Tensor) (*Tensor, error) {
+	k, m, n, err := matMulATBDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	dispatch(m, m*k*n, func(lo, hi int) { matMulATBRange(a.data, b.data, out.data, k, m, n, lo, hi) })
+	return out, nil
+}
+
+// MatMulATBInto computes aᵀ@b into out (shape (m,n)), overwriting it. out
+// must not alias a or b.
+func MatMulATBInto(out, a, b *Tensor) error {
+	k, m, n, err := matMulATBDims(a, b)
+	if err != nil {
+		return err
+	}
+	if err := checkOut(out, m, n, "matmulATB"); err != nil {
+		return err
+	}
+	out.Zero()
+	dispatch(m, m*k*n, func(lo, hi int) { matMulATBRange(a.data, b.data, out.data, k, m, n, lo, hi) })
+	return nil
+}
+
+// MatMulABT returns a@bᵀ for a of shape (m,k) and b of shape (n,k).
+// Used in backprop for input gradients without materializing transposes.
+func MatMulABT(a, b *Tensor) (*Tensor, error) {
+	m, k, n, err := matMulABTDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	dispatch(m, m*k*n, func(lo, hi int) { matMulABTRange(a.data, b.data, out.data, k, n, lo, hi) })
+	return out, nil
+}
+
+// MatMulABTInto computes a@bᵀ into out (shape (m,n)), overwriting it. out
+// must not alias a or b.
+func MatMulABTInto(out, a, b *Tensor) error {
+	m, k, n, err := matMulABTDims(a, b)
+	if err != nil {
+		return err
+	}
+	if err := checkOut(out, m, n, "matmulABT"); err != nil {
+		return err
+	}
+	dispatch(m, m*k*n, func(lo, hi int) { matMulABTRange(a.data, b.data, out.data, k, n, lo, hi) })
+	return nil
+}
+
+// --- serial reference kernels ---
+//
+// The original naive triple loops, kept as the ground truth the blocked
+// parallel kernels are tested bit-identical against and benchmarked
+// against (BenchmarkMatMul256*).
+
+// MatMulSerial is the single-threaded naive reference for MatMul.
+func MatMulSerial(a, b *Tensor) (*Tensor, error) {
+	m, k, n, err := matMulDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulATBSerial is the single-threaded naive reference for MatMulATB.
+func MatMulATBSerial(a, b *Tensor) (*Tensor, error) {
+	k, m, n, err := matMulATBDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			oi := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulABTSerial is the single-threaded naive reference for MatMulABT.
+func MatMulABTSerial(a, b *Tensor) (*Tensor, error) {
+	m, k, n, err := matMulABTDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		oi := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out, nil
+}
+
+// --- fused element-wise helpers ---
+
+// AddScaledInto computes dst = a + s·b element-wise in one pass. dst may
+// alias a and/or b (all three must share the shape), which turns the
+// allocate-clone-axpy pattern into a single in-place sweep.
+func AddScaledInto(dst, a *Tensor, s float64, b *Tensor) error {
+	if !SameShape(dst, a) || !SameShape(dst, b) {
+		return fmt.Errorf("tensor: addscaledinto shape mismatch %v, %v, %v", dst.shape, a.shape, b.shape)
+	}
+	dd, ad, bd := dst.data, a.data, b.data
+	for i := range dd {
+		dd[i] = ad[i] + s*bd[i]
+	}
+	return nil
+}
+
+// ApplyInto computes dst[i] = f(src[i]) in one pass. dst may alias src;
+// with a preallocated dst it fuses Clone+Apply into a single sweep with
+// no allocation.
+func ApplyInto(dst, src *Tensor, f func(float64) float64) error {
+	if !SameShape(dst, src) {
+		return fmt.Errorf("tensor: applyinto shape mismatch %v vs %v", dst.shape, src.shape)
+	}
+	dd, sd := dst.data, src.data
+	for i := range dd {
+		dd[i] = f(sd[i])
+	}
+	return nil
+}

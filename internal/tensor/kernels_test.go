@@ -1,0 +1,262 @@
+package tensor_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// randMatrix fills an (r,c) tensor with normal samples, sprinkling exact
+// zeros (and a negative zero) so the kernels' zero-skip paths and FP
+// edge cases are exercised.
+func randMatrix(r *rand.Rand, rows, cols int) *tensor.Tensor {
+	t := tensor.Randn(r, 1, rows, cols)
+	d := t.Data()
+	for i := range d {
+		switch r.Intn(8) {
+		case 0:
+			d[i] = 0
+		case 1:
+			d[i] = math.Copysign(0, -1)
+		}
+	}
+	return t
+}
+
+func bitsEqual(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !tensor.SameShape(got, want) {
+		t.Fatalf("%s: shape %v vs %v", name, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+			t.Fatalf("%s: element %d = %x, want %x (%g vs %g)",
+				name, i, math.Float64bits(gd[i]), math.Float64bits(wd[i]), gd[i], wd[i])
+		}
+	}
+}
+
+// kernelShapes covers the degenerate and non-multiple-of-tile shapes the
+// blocked kernels must handle: 1×N, N×1, tiny, odd, and larger than one
+// tile on every axis.
+var kernelShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{7, 1, 7},
+	{1, 300, 1},
+	{3, 5, 4},
+	{31, 17, 29},
+	{5, 129, 300}, // wide/odd k and n: panels narrower than their rows
+	{130, 129, 257},
+	{64, 64, 64},
+}
+
+// TestKernelsBitIdenticalToSerial is the core determinism property: the
+// blocked (and, above the threshold, parallel) kernels must reproduce the
+// naive serial reference bit for bit across odd shapes.
+func TestKernelsBitIdenticalToSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, s := range kernelShapes {
+		a := randMatrix(r, s.m, s.k)
+		b := randMatrix(r, s.k, s.n)
+
+		want, err := tensor.MatMulSerial(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tensor.MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmul", got, want)
+
+		at := randMatrix(r, s.k, s.m) // (k,m) for aᵀ@b
+		wantATB, err := tensor.MatMulATBSerial(at, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotATB, err := tensor.MatMulATB(at, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmulATB", gotATB, wantATB)
+
+		bt := randMatrix(r, s.n, s.k) // (n,k) for a@bᵀ
+		wantABT, err := tensor.MatMulABTSerial(a, bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotABT, err := tensor.MatMulABT(a, bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmulABT", gotABT, wantABT)
+	}
+}
+
+// TestKernelsSplitInvariant proves the result does not depend on how rows
+// are partitioned across workers, including degenerate and uneven splits —
+// the property that makes Parallelism a pure scheduling knob.
+func TestKernelsSplitInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	const m, k, n = 37, 41, 23
+	a := randMatrix(r, m, k)
+	b := randMatrix(r, k, n)
+	at := randMatrix(r, k, m)
+	bt := randMatrix(r, n, k)
+
+	splits := [][]int{
+		{0, m},
+		{0, 1, m},
+		{0, m - 1, m},
+		{0, 5, 11, 12, 30, m},
+		func() []int { // one row per task
+			s := make([]int, m+1)
+			for i := range s {
+				s[i] = i
+			}
+			return s
+		}(),
+	}
+
+	wantMM, _ := tensor.MatMulSerial(a, b)
+	wantATB, _ := tensor.MatMulATBSerial(at, b)
+	wantABT, _ := tensor.MatMulABTSerial(a, bt)
+	for _, bounds := range splits {
+		got, err := tensor.MatMulWithSplits(a, b, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmul split", got, wantMM)
+		got, err = tensor.MatMulATBWithSplits(at, b, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmulATB split", got, wantATB)
+		got, err = tensor.MatMulABTWithSplits(a, bt, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitsEqual(t, "matmulABT split", got, wantABT)
+	}
+}
+
+// TestMatMulIntoVariants checks the Into kernels against their allocating
+// forms, including that a dirty reused output buffer is fully overwritten.
+func TestMatMulIntoVariants(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	const m, k, n = 9, 33, 14
+	a := randMatrix(r, m, k)
+	b := randMatrix(r, k, n)
+	at := randMatrix(r, k, m)
+	bt := randMatrix(r, n, k)
+
+	dirty := func() *tensor.Tensor { return tensor.Full(999, m, n) }
+
+	out := dirty()
+	if err := tensor.MatMulInto(out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tensor.MatMul(a, b)
+	bitsEqual(t, "matmulinto", out, want)
+
+	out = dirty()
+	if err := tensor.MatMulATBInto(out, at, b); err != nil {
+		t.Fatal(err)
+	}
+	want, _ = tensor.MatMulATB(at, b)
+	bitsEqual(t, "matmulATBinto", out, want)
+
+	out = dirty()
+	if err := tensor.MatMulABTInto(out, a, bt); err != nil {
+		t.Fatal(err)
+	}
+	want, _ = tensor.MatMulABT(a, bt)
+	bitsEqual(t, "matmulABTinto", out, want)
+
+	// Wrong output shape must be rejected, not silently written.
+	bad := tensor.New(m+1, n)
+	if err := tensor.MatMulInto(bad, a, b); err == nil {
+		t.Fatal("MatMulInto accepted wrong out shape")
+	}
+	if err := tensor.MatMulATBInto(bad, at, b); err == nil {
+		t.Fatal("MatMulATBInto accepted wrong out shape")
+	}
+	if err := tensor.MatMulABTInto(bad, a, bt); err == nil {
+		t.Fatal("MatMulABTInto accepted wrong out shape")
+	}
+}
+
+func TestAddScaledInto(t *testing.T) {
+	a := tensor.MustFromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := tensor.MustFromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	dst := tensor.New(2, 2)
+	if err := tensor.AddScaledInto(dst, a, 0.5, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 12, 18, 24}
+	for i, v := range dst.Data() {
+		if v != want[i] {
+			t.Fatalf("dst[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	// Aliasing dst==a is the in-place axpy.
+	if err := tensor.AddScaledInto(a, a, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data()[3] != 44 {
+		t.Fatalf("aliased axpy = %v", a.Data())
+	}
+	if err := tensor.AddScaledInto(dst, a, 1, tensor.New(4)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestApplyInto(t *testing.T) {
+	src := tensor.MustFromSlice([]float64{-1, 0, 2}, 3)
+	dst := tensor.Full(7, 3)
+	relu := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	if err := tensor.ApplyInto(dst, src, relu); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 2}
+	for i, v := range dst.Data() {
+		if v != want[i] {
+			t.Fatalf("dst[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	if src.Data()[0] != -1 {
+		t.Fatal("ApplyInto mutated src")
+	}
+	if err := tensor.ApplyInto(dst, tensor.New(4), relu); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// TestBinaryOpShapeChecks covers the Dot/SquaredDistance fix: equal
+// element counts with different shapes must be rejected, consistently
+// with the other binary ops.
+func TestBinaryOpShapeChecks(t *testing.T) {
+	a := tensor.New(2, 3)
+	b := tensor.New(3, 2)
+	if _, err := tensor.Dot(a, b); err == nil {
+		t.Fatal("Dot accepted (2,3) vs (3,2)")
+	}
+	if _, err := tensor.SquaredDistance(a, b); err == nil {
+		t.Fatal("SquaredDistance accepted (2,3) vs (3,2)")
+	}
+	if _, err := tensor.CosineSimilarity(a, b); err == nil {
+		t.Fatal("CosineSimilarity accepted (2,3) vs (3,2)")
+	}
+	if _, err := tensor.Dot(tensor.New(2, 3), tensor.New(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -280,9 +280,10 @@ func (t *Tensor) Mean() float64 {
 }
 
 // Dot returns the inner product of a and b viewed as flat vectors.
+// Like the other binary ops, the operands must share a shape.
 func Dot(a, b *Tensor) (float64, error) {
-	if len(a.data) != len(b.data) {
-		return 0, fmt.Errorf("tensor: dot length mismatch %d vs %d", len(a.data), len(b.data))
+	if !SameShape(a, b) {
+		return 0, fmt.Errorf("tensor: dot shape mismatch %v vs %v", a.shape, b.shape)
 	}
 	s := 0.0
 	for i := range a.data {
@@ -301,9 +302,10 @@ func (t *Tensor) Norm() float64 {
 }
 
 // SquaredDistance returns ||a-b||² of the flattened tensors.
+// Like the other binary ops, the operands must share a shape.
 func SquaredDistance(a, b *Tensor) (float64, error) {
-	if len(a.data) != len(b.data) {
-		return 0, fmt.Errorf("tensor: distance length mismatch %d vs %d", len(a.data), len(b.data))
+	if !SameShape(a, b) {
+		return 0, fmt.Errorf("tensor: distance shape mismatch %v vs %v", a.shape, b.shape)
 	}
 	s := 0.0
 	for i := range a.data {
@@ -343,90 +345,11 @@ func (t *Tensor) ArgMax() int {
 }
 
 // --- matrix operations (2-D tensors) ---
-
-// MatMul returns a@b for a of shape (m,k) and b of shape (k,n).
-func MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("tensor: matmul needs 2-D operands, got %v and %v", a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmul inner dims %d vs %d", k, k2)
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		oi := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
-	return out, nil
-}
-
-// MatMulATB returns aᵀ@b for a of shape (k,m) and b of shape (k,n).
-// Used in backprop for weight gradients without materializing transposes.
-func MatMulATB(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("tensor: matmulATB needs 2-D operands, got %v and %v", a.shape, b.shape)
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmulATB outer dims %d vs %d", k, k2)
-	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.data[p*m : (p+1)*m]
-		bp := b.data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			oi := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
-	return out, nil
-}
-
-// MatMulABT returns a@bᵀ for a of shape (m,k) and b of shape (n,k).
-// Used in backprop for input gradients without materializing transposes.
-func MatMulABT(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("tensor: matmulABT needs 2-D operands, got %v and %v", a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmulABT inner dims %d vs %d", k, k2)
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		oi := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			oi[j] = s
-		}
-	}
-	return out, nil
-}
+//
+// The matrix products (MatMul, MatMulATB, MatMulABT and their Into/Serial
+// variants) live in kernels.go: parallel cache-blocked kernels with a
+// serial fallback, bit-identical to the naive reference at any
+// parallelism.
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.
 func (t *Tensor) Transpose2D() (*Tensor, error) {
