@@ -25,6 +25,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/style"
 	"github.com/pardon-feddg/pardon/internal/synth"
 	"github.com/pardon-feddg/pardon/internal/tensor"
+	"github.com/pardon-feddg/pardon/internal/testref"
 )
 
 var logOnce sync.Map
@@ -407,6 +408,56 @@ func BenchmarkMatMulABT256Parallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tensor.MatMulABT(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Aggregation benchmarks: the fused whole-arena axpy of the
+// parameter-arena model vs the legacy per-tensor reference path
+// (DESIGN.md §6). Both land in the CI bench job's BENCH_<sha>.json
+// artifact, so the server-side aggregation trajectory is recorded per
+// commit alongside the kernel numbers. ---
+
+// benchAggregateModels builds K scenario-size client updates plus size
+// weights — the server's per-round aggregation input.
+func benchAggregateModels(b *testing.B, k int) ([]*nn.Model, []float64) {
+	b.Helper()
+	models := make([]*nn.Model, k)
+	weights := make([]float64, k)
+	for i := range models {
+		m, err := nn.New(nn.Config{In: 1024, Hidden: 64, ZDim: 32, Classes: 7}, rand.New(rand.NewSource(int64(i+1))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		models[i] = m
+		weights[i] = float64(20 + i)
+	}
+	return models, weights
+}
+
+// BenchmarkAggregateArena measures the production path: one fused axpy
+// over each client's arena into a reused destination (zero allocations).
+func BenchmarkAggregateArena(b *testing.B) {
+	models, weights := benchAggregateModels(b, 20)
+	dst := nn.NewLike(models[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nn.WeightedAverageInto(dst, models, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregateLegacy measures the pre-refactor reference: a fresh
+// clone per round, zeroed, accumulated tensor by tensor.
+func BenchmarkAggregateLegacy(b *testing.B) {
+	models, weights := benchAggregateModels(b, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := testref.LegacyWeightedAverage(models, weights); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,9 +4,9 @@
 // Usage:
 //
 //	feddg -exp table1 [-scale small|paper] [-seed N] [-seeds K] [-out DIR]
-//	       [-cache DIR] [-workers N]
+//	       [-cache DIR] [-cache-max-bytes N] [-workers N] [-save-model DIR]
 //	feddg -exp all -scale small
-//	feddg serve [-addr :8080] [-cache DIR] [-workers N]
+//	feddg serve [-addr :8080] [-cache DIR] [-cache-max-bytes N] [-workers N]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
 // fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
@@ -24,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/pardon-feddg/pardon/internal/attack"
@@ -43,13 +44,15 @@ func run() error {
 		return serve(os.Args[2:])
 	}
 	var (
-		expFlag     = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
-		scaleFlag   = flag.String("scale", "small", "experiment scale: small|paper")
-		seedFlag    = flag.Uint64("seed", 1, "root random seed")
-		seedsFlag   = flag.Int("seeds", 1, "number of seeds to average")
-		outFlag     = flag.String("out", "out", "output directory for figure artifacts")
-		cacheFlag   = flag.String("cache", "", "result-cache directory (empty = in-memory only)")
-		workersFlag = flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
+		expFlag       = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
+		scaleFlag     = flag.String("scale", "small", "experiment scale: small|paper")
+		seedFlag      = flag.Uint64("seed", 1, "root random seed")
+		seedsFlag     = flag.Int("seeds", 1, "number of seeds to average")
+		outFlag       = flag.String("out", "out", "output directory for figure artifacts")
+		cacheFlag     = flag.String("cache", "", "result-cache directory (empty = in-memory only)")
+		cacheMaxFlag  = flag.Int64("cache-max-bytes", 0, "disk-cache size cap in bytes, LRU-by-mtime eviction (0 = unbounded)")
+		workersFlag   = flag.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
+		saveModelFlag = flag.String("save-model", "", "directory receiving each run's trained-model checkpoint (cached runs included)")
 	)
 	flag.Parse()
 	if *expFlag == "" {
@@ -60,7 +63,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag})
+	if *cacheMaxFlag > 0 && *cacheFlag == "" {
+		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
+	}
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag})
 	if err != nil {
 		return err
 	}
@@ -78,10 +84,49 @@ func run() error {
 		}
 		fmt.Printf("[%s completed in %s]\n\n", exp, time.Since(start).Round(time.Millisecond))
 	}
+	if *saveModelFlag != "" {
+		n, err := saveModels(eng, *saveModelFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%d model checkpoints written under %s]\n", n, *saveModelFlag)
+	}
 	st := eng.Stats()
 	fmt.Printf("[engine: %d submitted, %d cache hits, %d rounds trained]\n",
 		st.Submitted, st.CacheHits, st.RoundsExecuted)
 	return nil
+}
+
+// saveModels exports the trained-model checkpoint of every completed
+// Spec job of this invocation — cache hits included, since the blob is
+// stored content-addressed next to the memoized result — as
+// <method>-<address[:12]>.model files that nn.LoadModel (or any client
+// of GET /v1/jobs/{id}/model) can read back.
+func saveModels(eng *engine.Engine, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("save-model: %w", err)
+	}
+	written := 0
+	seen := map[string]bool{}
+	for _, j := range eng.Jobs() {
+		if j.Spec == nil || j.State() != engine.StateDone || seen[j.Key] {
+			continue
+		}
+		seen[j.Key] = true
+		blob, ok, err := eng.ModelBlob(j.Key)
+		if err != nil {
+			return written, fmt.Errorf("save-model: %s: %w", j.Key, err)
+		}
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("%s-%s.model", j.Spec.Method, j.Key[:12])
+		if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+			return written, fmt.Errorf("save-model: %w", err)
+		}
+		written++
+	}
+	return written, nil
 }
 
 // serve runs the experiment engine behind the HTTP/JSON job API until
@@ -89,15 +134,19 @@ func run() error {
 func serve(args []string) error {
 	fs := flag.NewFlagSet("feddg serve", flag.ContinueOnError)
 	var (
-		addrFlag    = fs.String("addr", ":8080", "listen address")
-		cacheFlag   = fs.String("cache", "feddg-cache", "result-cache directory (empty = in-memory only)")
-		workersFlag = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
-		parFlag     = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
+		addrFlag     = fs.String("addr", ":8080", "listen address")
+		cacheFlag    = fs.String("cache", "feddg-cache", "result-cache directory (empty = in-memory only)")
+		cacheMaxFlag = fs.Int64("cache-max-bytes", 0, "disk-cache size cap in bytes, LRU-by-mtime eviction (0 = unbounded)")
+		workersFlag  = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
+		parFlag      = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, Parallelism: *parFlag})
+	if *cacheMaxFlag > 0 && *cacheFlag == "" {
+		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
+	}
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag})
 	if err != nil {
 		return err
 	}

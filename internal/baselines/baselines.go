@@ -48,8 +48,12 @@ func trainCE(env *fl.Env, c *fl.Client, global *nn.Model, round int, name string
 }
 
 // FedAvg is the naïve baseline: local cross-entropy, size-weighted
-// averaging (McMahan et al. 2017).
-type FedAvg struct{}
+// averaging (McMahan et al. 2017). The embedded Averager recycles the
+// aggregation arena across rounds, so server-side aggregation allocates
+// nothing steady-state.
+type FedAvg struct {
+	avg fl.Averager
+}
 
 var _ fl.Algorithm = (*FedAvg)(nil)
 
@@ -65,6 +69,6 @@ func (*FedAvg) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int
 }
 
 // Aggregate implements fl.Algorithm.
-func (*FedAvg) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
-	return fl.FedAvg(parts, updates)
+func (f *FedAvg) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return f.avg.FedAvg(parts, updates)
 }

@@ -110,20 +110,20 @@ func TestFedGMAMasking(t *testing.T) {
 	}
 	// Two updates: coord 0 agrees (+1,+1), coord 1 disagrees (+1,−1).
 	u1, u2 := global.Clone(), global.Clone()
-	u1.W1.Data()[0] += 1
-	u2.W1.Data()[0] += 1
-	u1.W1.Data()[1] += 1
-	u2.W1.Data()[1] -= 1
+	u1.Vector()[0] += 1
+	u2.Vector()[0] += 1
+	u1.Vector()[1] += 1
+	u2.Vector()[1] -= 1
 	// Equal data sizes: use the same client twice.
 	out, err := g.Aggregate(env, global, []*fl.Client{clients[0], clients[0]}, []*nn.Model{u1, u2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(out.W1.Data()[0]-(global.W1.Data()[0]+1)) > 1e-9 {
-		t.Fatalf("agreed coordinate not updated: %g", out.W1.Data()[0]-global.W1.Data()[0])
+	if math.Abs(out.Vector()[0]-(global.Vector()[0]+1)) > 1e-9 {
+		t.Fatalf("agreed coordinate not updated: %g", out.Vector()[0]-global.Vector()[0])
 	}
-	if math.Abs(out.W1.Data()[1]-global.W1.Data()[1]) > 1e-9 {
-		t.Fatalf("disagreed coordinate not masked: moved %g", out.W1.Data()[1]-global.W1.Data()[1])
+	if math.Abs(out.Vector()[1]-global.Vector()[1]) > 1e-9 {
+		t.Fatalf("disagreed coordinate not masked: moved %g", out.Vector()[1]-global.Vector()[1])
 	}
 }
 

@@ -49,6 +49,8 @@ type CCST struct {
 
 	mu   sync.RWMutex
 	bank []BankEntry
+
+	avg fl.Averager
 }
 
 var _ fl.Algorithm = (*CCST)(nil)
@@ -186,6 +188,6 @@ func (c *CCST) LocalTrain(env *fl.Env, cl *fl.Client, global *nn.Model, round in
 }
 
 // Aggregate implements fl.Algorithm (CCST uses plain FedAvg).
-func (*CCST) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
-	return fl.FedAvg(parts, updates)
+func (c *CCST) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return c.avg.FedAvg(parts, updates)
 }

@@ -1,0 +1,247 @@
+package baselines_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/baselines"
+	"github.com/pardon-feddg/pardon/internal/core"
+	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/loss"
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+	"github.com/pardon-feddg/pardon/internal/testref"
+)
+
+// The tests below are the old-vs-new aggregation equivalence suite of
+// the parameter-arena refactor: every method's Aggregate now runs fused
+// whole-arena sweeps, and each is pinned bit-identical to a reference
+// implementation of the historical per-tensor/ParamVector path.
+
+// perturbedUpdates builds deterministic client updates around a shared
+// global model (what LocalTrain would hand the server, minus the cost of
+// actually training).
+func perturbedUpdates(t *testing.T, global *nn.Model, k int) []*nn.Model {
+	t.Helper()
+	updates := make([]*nn.Model, k)
+	for i := range updates {
+		u := global.Clone()
+		r := rand.New(rand.NewSource(int64(1000 + i)))
+		uv := u.Vector()
+		for j := range uv {
+			uv[j] += r.NormFloat64() * 0.01
+		}
+		// A few exact zero deltas so FedGMA's sign walk sees all cases.
+		uv[i] = global.Vector()[i]
+		updates[i] = u
+	}
+	return updates
+}
+
+// legacyAverage is the pre-refactor reference: clone, zero, per-tensor
+// AddScaled accumulation (shared with the other equivalence suites).
+func legacyAverage(t *testing.T, models []*nn.Model, weights []float64) *nn.Model {
+	t.Helper()
+	out, err := testref.LegacyWeightedAverage(models, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sizeWeights(parts []*fl.Client) []float64 {
+	w := make([]float64, len(parts))
+	for i, c := range parts {
+		w[i] = float64(c.Data.Len())
+	}
+	return w
+}
+
+func assertBitIdentical(t *testing.T, name string, got, want *nn.Model) {
+	t.Helper()
+	gv, wv := got.Vector(), want.Vector()
+	if len(gv) != len(wv) {
+		t.Fatalf("%s: param counts differ: %d vs %d", name, len(gv), len(wv))
+	}
+	for j := range gv {
+		if math.Float64bits(gv[j]) != math.Float64bits(wv[j]) {
+			t.Fatalf("%s: aggregation diverges from the legacy path at param %d: %g vs %g", name, j, gv[j], wv[j])
+		}
+	}
+}
+
+// TestFedAvgFamilyAggregationMatchesLegacy covers the five methods whose
+// server step is the size-weighted average — FedAvg, FedSR, FPL, CCST,
+// and PARDON — against the per-tensor reference, bit for bit.
+func TestFedAvgFamilyAggregationMatchesLegacy(t *testing.T) {
+	env, clients := buildClients(t, 4)
+	global, err := nn.New(env.ModelCfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := perturbedUpdates(t, global, len(clients))
+	want := legacyAverage(t, updates, sizeWeights(clients))
+
+	algs := []fl.Algorithm{
+		&baselines.FedAvg{},
+		baselines.NewFedSR(),
+		baselines.NewFPL(),
+		baselines.NewCCST(),
+		core.New(core.DefaultOptions()),
+	}
+	for _, alg := range algs {
+		got, err := alg.Aggregate(env, global, clients, updates, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		assertBitIdentical(t, alg.Name(), got, want)
+	}
+}
+
+// legacyFedGMA is the pre-refactor FedGMA server step: ParamVector
+// copies, materialized per-client delta vectors, coordinate-outer loop.
+func legacyFedGMA(t *testing.T, g *baselines.FedGMA, global *nn.Model, parts []*fl.Client, updates []*nn.Model) *nn.Model {
+	t.Helper()
+	gv := global.ParamVector()
+	n := len(gv)
+	deltas := make([][]float64, len(updates))
+	weights := make([]float64, len(updates))
+	totalW := 0.0
+	for i, u := range updates {
+		uv := u.ParamVector()
+		d := make([]float64, n)
+		for j := range d {
+			d[j] = uv[j] - gv[j]
+		}
+		deltas[i] = d
+		weights[i] = float64(parts[i].Data.Len())
+		totalW += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= totalW
+	}
+	out := global.Clone()
+	ov := out.ParamVector()
+	for j := 0; j < n; j++ {
+		avg := 0.0
+		signSum := 0.0
+		for i := range deltas {
+			dj := deltas[i][j]
+			avg += weights[i] * dj
+			switch {
+			case dj > 0:
+				signSum += weights[i]
+			case dj < 0:
+				signSum -= weights[i]
+			}
+		}
+		agreement := math.Abs(signSum)
+		scale := g.ServerLR
+		if agreement < g.Tau {
+			scale *= g.MaskedScale
+		}
+		ov[j] = gv[j] + scale*avg
+	}
+	if err := out.SetParamVector(ov); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestFedGMAAggregationMatchesLegacy(t *testing.T) {
+	env, clients := buildClients(t, 5)
+	global, err := nn.New(env.ModelCfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := perturbedUpdates(t, global, len(clients))
+	g := baselines.NewFedGMA()
+	want := legacyFedGMA(t, g, global, clients, updates)
+	got, err := g.Aggregate(env, global, clients, updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, g.Name(), got, want)
+
+	// A second round through the same instance (scratch now warm, and
+	// the previous output is this round's global) must stay identical.
+	global2 := got.Clone()
+	updates2 := perturbedUpdates(t, global2, len(clients))
+	want2 := legacyFedGMA(t, g, global2, clients, updates2)
+	got2, err := g.Aggregate(env, global2, clients, updates2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, g.Name()+"/round2", got2, want2)
+}
+
+// legacyCELoss mirrors the pre-refactor ceLossOn helper.
+func legacyCELoss(t *testing.T, m *nn.Model, c *fl.Client, cap int) float64 {
+	t.Helper()
+	n := c.Data.Len()
+	if cap > 0 && n > cap {
+		n = cap
+	}
+	d := c.FlatX.Dim(1)
+	x := tensor.MustFromSlice(c.FlatX.Data()[:n*d], n, d)
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := loss.CrossEntropy(acts.Logits, c.Labels[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// legacyFedDGGA replays the pre-refactor FedDG-GA server step against a
+// fresh weight state.
+func legacyFedDGGA(t *testing.T, g *baselines.FedDGGA, global *nn.Model, parts []*fl.Client, updates []*nn.Model) *nn.Model {
+	t.Helper()
+	provisional := legacyAverage(t, updates, sizeWeights(parts))
+	gaps := make([]float64, len(parts))
+	for i, c := range parts {
+		gaps[i] = legacyCELoss(t, provisional, c, g.EvalCap) - legacyCELoss(t, updates[i], c, g.EvalCap)
+	}
+	meanGap := 0.0
+	for _, gp := range gaps {
+		meanGap += gp
+	}
+	meanGap /= float64(len(gaps))
+	maxDev := 0.0
+	for _, gp := range gaps {
+		if d := math.Abs(gp - meanGap); d > maxDev {
+			maxDev = d
+		}
+	}
+	ws := make([]float64, len(parts))
+	for i := range parts {
+		w := 1.0 / float64(len(parts))
+		if maxDev > 1e-12 {
+			w += g.StepSize * (gaps[i] - meanGap) / maxDev
+		}
+		if w < g.MinWeight {
+			w = g.MinWeight
+		}
+		ws[i] = w
+	}
+	return legacyAverage(t, updates, ws)
+}
+
+func TestFedDGGAAggregationMatchesLegacy(t *testing.T) {
+	env, clients := buildClients(t, 3)
+	global, err := nn.New(env.ModelCfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := perturbedUpdates(t, global, len(clients))
+	g := baselines.NewFedDGGA()
+	want := legacyFedDGGA(t, baselines.NewFedDGGA(), global, clients, updates)
+	got, err := g.Aggregate(env, global, clients, updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, g.Name(), got, want)
+}

@@ -32,6 +32,7 @@ type FedDGGA struct {
 
 	mu      sync.Mutex
 	weights map[int]float64 // persistent per-client aggregation weight
+	avg     fl.Averager     // reused arena for the provisional FedAvg
 }
 
 var _ fl.Algorithm = (*FedDGGA)(nil)
@@ -57,8 +58,9 @@ func (g *FedDGGA) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates 
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
-	// Step 1: provisional FedAvg global.
-	provisional, err := fl.FedAvg(parts, updates)
+	// Step 1: provisional FedAvg global (reused arena; only evaluated,
+	// never returned).
+	provisional, err := g.avg.FedAvg(parts, updates)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,13 @@ type FedGMA struct {
 	// MaskedScale is applied to below-threshold coordinates (the paper's
 	// soft variant uses the agreement score; 0 hard-masks).
 	MaskedScale float64
+
+	// Aggregation scratch, reused across rounds (Aggregate is invoked
+	// serially by the round coordinator): the weighted mean delta, the
+	// signed agreement mass per coordinate, and the output model.
+	avg     []float64
+	signSum []float64
+	out     *nn.Model
 }
 
 var _ fl.Algorithm = (*FedGMA)(nil)
@@ -41,49 +48,55 @@ func (*FedGMA) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int
 	return trainCE(env, c, global, round, "FedGMA")
 }
 
-// Aggregate implements fl.Algorithm: gradient-masked averaging.
+// Aggregate implements fl.Algorithm: gradient-masked averaging as two
+// flat sweeps over the parameter arenas. Pass one walks each update's
+// arena once, accumulating the weighted mean delta and the signed
+// agreement mass per coordinate; pass two writes the masked update. No
+// per-round allocation: the deltas are never materialized and the
+// scratch vectors and output arena are recycled.
 func (g *FedGMA) Aggregate(_ *fl.Env, global *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("fedgma: no updates")
 	}
-	gv := global.ParamVector()
+	gv := global.Vector()
 	n := len(gv)
-	deltas := make([][]float64, len(updates))
-	weights := make([]float64, len(updates))
 	totalW := 0.0
 	for i, u := range updates {
-		uv := u.ParamVector()
-		if len(uv) != n {
-			return nil, fmt.Errorf("fedgma: update %d has %d params, want %d", i, len(uv), n)
+		if u.NumParams() != n {
+			return nil, fmt.Errorf("fedgma: update %d has %d params, want %d", i, u.NumParams(), n)
 		}
-		d := make([]float64, n)
-		for j := range d {
-			d[j] = uv[j] - gv[j]
+		totalW += float64(parts[i].Data.Len())
+	}
+	if len(g.avg) != n {
+		g.avg = make([]float64, n)
+		g.signSum = make([]float64, n)
+	} else {
+		for j := range g.avg {
+			g.avg[j] = 0
+			g.signSum[j] = 0
 		}
-		deltas[i] = d
-		weights[i] = float64(parts[i].Data.Len())
-		totalW += weights[i]
 	}
-	for i := range weights {
-		weights[i] /= totalW
-	}
-
-	out := global.Clone()
-	ov := out.ParamVector()
-	for j := 0; j < n; j++ {
-		avg := 0.0
-		signSum := 0.0
-		for i := range deltas {
-			dj := deltas[i][j]
-			avg += weights[i] * dj
+	for i, u := range updates {
+		w := float64(parts[i].Data.Len()) / totalW
+		uv := u.Vector()
+		for j, v := range uv {
+			d := v - gv[j]
+			g.avg[j] += w * d
 			switch {
-			case dj > 0:
-				signSum += weights[i]
-			case dj < 0:
-				signSum -= weights[i]
+			case d > 0:
+				g.signSum[j] += w
+			case d < 0:
+				g.signSum[j] -= w
 			}
 		}
-		agreement := signSum
+	}
+
+	if g.out == nil || !g.out.Cfg.Equal(global.Cfg) {
+		g.out = nn.NewLike(global)
+	}
+	ov := g.out.Vector()
+	for j := 0; j < n; j++ {
+		agreement := g.signSum[j]
 		if agreement < 0 {
 			agreement = -agreement
 		}
@@ -91,10 +104,7 @@ func (g *FedGMA) Aggregate(_ *fl.Env, global *nn.Model, parts []*fl.Client, upda
 		if agreement < g.Tau {
 			scale *= g.MaskedScale
 		}
-		ov[j] = gv[j] + scale*avg
+		ov[j] = gv[j] + scale*g.avg[j]
 	}
-	if err := out.SetParamVector(ov); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return g.out, nil
 }

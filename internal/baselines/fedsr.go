@@ -32,6 +32,8 @@ type FedSR struct {
 	CMICoef float64
 	// NoiseStd is the std of the Gaussian representation noise.
 	NoiseStd float64
+
+	avg fl.Averager
 }
 
 var _ fl.Algorithm = (*FedSR)(nil)
@@ -81,10 +83,9 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 				// Recompute logits from the noisy embedding, in place:
 				// the clean logits are never consumed, so their buffer
 				// is reused instead of allocating a fresh tensor.
-				if err := tensor.MatMulInto(acts.Logits, acts.Z, model.WC); err != nil {
+				if err := model.RecomputeLogits(acts); err != nil {
 					return nil, err
 				}
-				addRow(acts.Logits, model.BC)
 			}
 			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
 			if err != nil {
@@ -125,8 +126,8 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 }
 
 // Aggregate implements fl.Algorithm (FedSR uses plain FedAvg).
-func (*FedSR) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
-	return fl.FedAvg(parts, updates)
+func (f *FedSR) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	return f.avg.FedAvg(parts, updates)
 }
 
 // localClassMeans embeds the client's whole dataset once and returns the
@@ -163,15 +164,4 @@ func localClassMeans(model *nn.Model, c *fl.Client) ([][]float64, error) {
 		}
 	}
 	return means, nil
-}
-
-func addRow(t *tensor.Tensor, v *tensor.Tensor) {
-	rows, cols := t.Dim(0), t.Dim(1)
-	td, vd := t.Data(), v.Data()
-	for i := 0; i < rows; i++ {
-		row := td[i*cols : (i+1)*cols]
-		for j := range row {
-			row[j] += vd[j]
-		}
-	}
 }

@@ -31,6 +31,8 @@ type FPL struct {
 
 	mu     sync.RWMutex
 	protos *tensor.Tensor // (Classes, ZDim); zero rows = unobserved class
+
+	avg fl.Averager
 }
 
 var _ fl.Algorithm = (*FPL)(nil)
@@ -105,7 +107,7 @@ func (f *FPL) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int)
 // Aggregate implements fl.Algorithm: FedAvg for parameters, then the
 // cluster-and-average prototype rebuild from this round's participants.
 func (f *FPL) Aggregate(env *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
-	global, err := fl.FedAvg(parts, updates)
+	global, err := f.avg.FedAvg(parts, updates)
 	if err != nil {
 		return nil, err
 	}

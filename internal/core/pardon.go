@@ -128,6 +128,8 @@ type PARDON struct {
 	// sampleStyles caches each client's per-sample styles so the
 	// per-batch interpolative transfer does not recompute them.
 	sampleStyles map[int][]*style.Style
+
+	avg fl.Averager
 }
 
 var _ fl.Algorithm = (*PARDON)(nil)
@@ -553,8 +555,9 @@ func scatterAddRows(dst, src *tensor.Tensor, idx []int, scale float64) {
 
 // Aggregate implements fl.Algorithm: PARDON aggregates with plain FedAvg
 // (the paper's step 4) — no server-side extra cost, the point of Fig. 4.
+// The reused Averager arena keeps that cost allocation-free too.
 func (p *PARDON) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
-	return fl.FedAvg(parts, updates)
+	return p.avg.FedAvg(parts, updates)
 }
 
 // coarsestMeaningful returns the coarsest FINCH partition with at least

@@ -76,6 +76,10 @@ type Options struct {
 	// CacheDir backs the result store on disk; "" keeps results in
 	// memory only.
 	CacheDir string
+	// CacheMaxBytes caps the disk cache size (results + model
+	// checkpoint blobs); least-recently-modified entries are evicted
+	// past it. 0 = unbounded.
+	CacheMaxBytes int64
 	// Parallelism bounds each job's local-training worker pool; 0
 	// means ceil(NumCPU/Workers), so a full worker pool totals about
 	// NumCPU training goroutines instead of NumCPU per job.
@@ -123,6 +127,9 @@ func New(opts Options) (*Engine, error) {
 	store, err := NewStore(opts.CacheDir)
 	if err != nil {
 		return nil, err
+	}
+	if opts.CacheMaxBytes > 0 {
+		store.SetMaxBytes(opts.CacheMaxBytes)
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -308,5 +315,19 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 		res.Model = model.ParamVector()
 	}
 	res.ElapsedSec = time.Since(start).Seconds()
+	// The trained model becomes a content-addressed checkpoint blob next
+	// to the Result, so cached re-runs return metrics AND the model
+	// (GET /v1/jobs/{id}/model, feddg -save-model). The write is
+	// best-effort: consumers already tolerate a missing blob (404 /
+	// skip), so a full disk must not discard a completed run's metrics.
+	if blob, err := model.MarshalBinary(); err == nil {
+		_ = e.store.PutBlob(hash, blob)
+	}
 	return res, nil
+}
+
+// ModelBlob returns the checkpoint blob (nn binary format) stored under
+// a job's content-address, if one exists. Decode with nn.LoadModel.
+func (e *Engine) ModelBlob(key string) ([]byte, bool, error) {
+	return e.store.GetBlob(key)
 }

@@ -46,8 +46,10 @@ func buildScenario(spec Spec, parallelism int) (*Scenario, error) {
 	}
 	c, h, w := enc.OutShape()
 	env := &fl.Env{
-		Enc:         enc,
-		ModelCfg:    nn.Config{In: c * h * w, Hidden: 64, ZDim: 32, Classes: gen.Config().NumClasses},
+		Enc: enc,
+		// Spec.Hidden sweeps the extractor depth; empty keeps the
+		// default single hidden layer.
+		ModelCfg:    nn.Config{In: c * h * w, Hidden: defaultHiddenWidth, ZDim: 32, Classes: gen.Config().NumClasses, HiddenDims: spec.Hidden},
 		Hyper:       fl.DefaultHyper(),
 		RNG:         rng.New(spec.Seed).Child("scenario", spec.Tag),
 		Parallelism: parallelism,

@@ -17,6 +17,8 @@ import (
 //	GET    /v1/jobs                 list jobs, newest first
 //	GET    /v1/jobs/{id}            job status
 //	GET    /v1/jobs/{id}/result     job result (409 until terminal)
+//	GET    /v1/jobs/{id}/model      trained-model checkpoint blob (409
+//	                                until done, 404 when none was stored)
 //	POST   /v1/jobs/{id}/cancel     cancel a job
 //	DELETE /v1/jobs/{id}            cancel a job
 type Server struct {
@@ -33,6 +35,7 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/model", s.handleModel)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	return s
@@ -193,6 +196,39 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job "+j.ID+" not finished (state "+string(j.State())+")")
 	}
+}
+
+// handleModel serves the trained-model checkpoint blob of a done job in
+// the nn binary format (decode with nn.LoadModel). Cache-hit jobs serve
+// the blob stored by the original run. 409 only while the job can still
+// finish; failed/cancelled jobs will never have a checkpoint, so they
+// are a terminal 404 rather than a 409 a poller would wait out forever.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	switch st := j.State(); st {
+	case StateDone:
+	case StateFailed, StateCancelled:
+		writeError(w, http.StatusNotFound, "no model checkpoint for job "+j.ID+" (state "+string(st)+")")
+		return
+	default:
+		writeError(w, http.StatusConflict, "job "+j.ID+" not finished (state "+string(st)+")")
+		return
+	}
+	blob, ok, err := s.engine.ModelBlob(j.Key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model checkpoint for job "+j.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"github.com/pardon-feddg/pardon/internal/nn"
 )
 
 // postJSON posts a value and decodes the JSON response into out.
@@ -115,6 +118,62 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 	if stats.CacheHits != 1 || stats.Submitted != 2 {
 		t.Fatalf("stats = %+v, want 1 cache hit of 2 submissions", stats)
+	}
+}
+
+// TestServeModelEndpoint drives GET /v1/jobs/{id}/model: a finished
+// Spec job serves its trained-model checkpoint as an octet stream that
+// nn.LoadModel decodes; func jobs, which store no model, return 404.
+func TestServeModelEndpoint(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 2})
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+	client := srv.Client()
+
+	var done JobView
+	if code := postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{Spec: tinySpec("FedAvg"), Wait: true}, &done); code != http.StatusOK {
+		t.Fatalf("submit wait = %d", code)
+	}
+	resp, err := client.Get(srv.URL + "/v1/jobs/" + done.ID + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model endpoint = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("model content type %q", ct)
+	}
+	m, err := nn.LoadModel(blob)
+	if err != nil {
+		t.Fatalf("served blob does not decode: %v", err)
+	}
+	if m.NumParams() == 0 {
+		t.Fatal("decoded model is empty")
+	}
+
+	// A func job finishes without a checkpoint: 404, not 500.
+	fj, err := e.SubmitFunc(FuncKey("no-model"), 0, func(context.Context) (*Result, error) {
+		return &Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := fj.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/"+fj.ID+"/model", nil); code != http.StatusNotFound {
+		t.Fatalf("func-job model = %d, want 404", code)
+	}
+	if code := getJSON(t, client, srv.URL+"/v1/jobs/job-404/model", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown-job model = %d, want 404", code)
 	}
 }
 

@@ -13,7 +13,10 @@ import (
 // change anywhere in the training stack (fl, core, baselines, synth,
 // encoder, nn, partition, rng) alters what a Spec computes, so stale
 // cached results are never served for new code.
-const CodeVersion = "pardon-engine/1"
+//
+// v2: Spec grew the hash-affecting Hidden depth override and the engine
+// began storing model checkpoint blobs next to results.
+const CodeVersion = "pardon-engine/2"
 
 // SplitSpec names the train/val/test domain indices of an evaluation
 // scheme. It mirrors dataset.Split minus the free-text comment, which
@@ -73,6 +76,15 @@ type Spec struct {
 	NumDomains       int
 	NumClasses       int
 	ClassesPerDomain int
+	// Hidden optionally overrides the model's hidden-layer stack (widths
+	// of the ReLU layers before the embedding projection; empty = the
+	// default single defaultHiddenWidth-wide layer). Unlike Parallelism
+	// it changes what the Spec computes, so it IS part of the canonical
+	// encoding and the content-address — scenarios can sweep model
+	// capacity and each depth memoizes separately. Spellings that
+	// compute the same model (nil, [], and [defaultHiddenWidth]) are
+	// normalized before hashing, so they share one address.
+	Hidden []int
 	// Parallelism bounds the job's local-training worker pool (0 adopts
 	// the engine default). It is an execution hint, not part of the
 	// experiment: the kernels' fixed accumulation order makes results
@@ -84,10 +96,19 @@ type Spec struct {
 	Parallelism int `json:"-"`
 }
 
+// defaultHiddenWidth is the hidden-layer width a Spec without a Hidden
+// override trains with (see buildScenario).
+const defaultHiddenWidth = 64
+
 // Canonical returns the deterministic encoding that is hashed into the
 // Spec's content-address: JSON with fields in struct declaration order
-// and no omitted fields.
+// and no omitted fields. Equivalent Hidden spellings — nil, [], and the
+// explicit default [defaultHiddenWidth], which all build bit-identical
+// models — are normalized to nil so they cannot split the cache.
 func (s Spec) Canonical() ([]byte, error) {
+	if len(s.Hidden) == 0 || (len(s.Hidden) == 1 && s.Hidden[0] == defaultHiddenWidth) {
+		s.Hidden = nil
+	}
 	return json.Marshal(s)
 }
 
@@ -142,6 +163,14 @@ func (s Spec) Validate() error {
 	if s.Clients <= 0 || s.SampleK <= 0 || s.Rounds <= 0 || s.PerDomain <= 0 {
 		return fmt.Errorf("engine: spec sizing must be positive (clients=%d sampleK=%d rounds=%d perDomain=%d)",
 			s.Clients, s.SampleK, s.Rounds, s.PerDomain)
+	}
+	if s.SampleK > s.Clients {
+		return fmt.Errorf("engine: SampleK %d exceeds client population %d", s.SampleK, s.Clients)
+	}
+	for _, h := range s.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("engine: non-positive hidden width in %v", s.Hidden)
+		}
 	}
 	if (len(s.Split.Val) > 0 || len(s.Split.Test) > 0) && s.EvalPer <= 0 {
 		return fmt.Errorf("engine: spec with val/test domains needs EvalPer > 0")

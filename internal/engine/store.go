@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -20,14 +22,28 @@ const memCacheCap = 256
 // Store memoizes completed Results keyed by content-address. Entries
 // live in memory and, when a directory is configured, as one JSON file
 // per address, so a warm cache survives process restarts and repeated
-// table/figure regeneration is O(cache-hit). Store is safe for
+// table/figure regeneration is O(cache-hit). Next to each Result the
+// store can hold an opaque checkpoint blob (the trained model in the
+// nn binary format) under the same address. Store is safe for
 // concurrent use.
 type Store struct {
 	dir string
+	// maxBytes bounds the disk footprint of a disk-backed store (0 =
+	// unbounded): after every write, least-recently-modified cache files
+	// are evicted until the total fits. See SetMaxBytes.
+	maxBytes int64
 
-	mu     sync.Mutex
-	mem    map[string]*Result
-	use    map[string]int64
+	mu        sync.Mutex
+	mem       map[string]*Result
+	blobs     map[string][]byte // memory-only stores ("" dir) keep blobs here
+	blobOrder []string          // insertion order of blobs, for bounded eviction
+	use       map[string]int64
+	// approx over-estimates the on-disk byte total (it grows with every
+	// write, including overwrites); the full directory scan in
+	// enforceCap only runs when it crosses maxBytes, then resets it to
+	// the measured footprint — amortizing cap enforcement to O(1)
+	// syscalls per write.
+	approx int64
 	seq    int64
 	hits   int64
 	misses int64
@@ -50,7 +66,22 @@ func NewStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("engine: create cache dir: %w", err)
 		}
 	}
-	return &Store{dir: dir, mem: map[string]*Result{}, use: map[string]int64{}}, nil
+	return &Store{dir: dir, mem: map[string]*Result{}, blobs: map[string][]byte{}, use: map[string]int64{}}, nil
+}
+
+// SetMaxBytes caps the disk footprint of a disk-backed store. After any
+// write that pushes the cache directory past max, the least-recently-
+// modified entry files (result JSON and checkpoint blobs alike) are
+// deleted until it fits again; the newest file always survives, so a cap
+// smaller than one entry still admits the latest write. 0 removes the
+// cap. Memory-only stores ignore it.
+func (s *Store) SetMaxBytes(max int64) {
+	s.mu.Lock()
+	s.maxBytes = max
+	s.mu.Unlock()
+	if max > 0 {
+		s.enforceCap("")
+	}
 }
 
 // touchLocked records an access and, for disk-backed stores, evicts the
@@ -161,7 +192,153 @@ func (s *Store) Put(hash string, r *Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: write cache entry: %w", err)
 	}
+	s.noteWrite(hash+".json", int64(len(raw)))
 	return nil
+}
+
+// noteWrite accounts for written bytes and triggers cap enforcement
+// only when the (over-)estimated footprint crosses the cap.
+func (s *Store) noteWrite(keep string, wrote int64) {
+	s.mu.Lock()
+	s.approx += wrote
+	over := s.maxBytes > 0 && s.approx > s.maxBytes
+	s.mu.Unlock()
+	if over {
+		s.enforceCap(keep)
+	}
+}
+
+// blobPath is the on-disk location of a checkpoint blob.
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.dir, hash+".model.bin")
+}
+
+// PutBlob stores an opaque checkpoint blob under a content-address,
+// next to the entry's Result. Disk writes are atomic (temp + rename).
+// Memory-only stores keep at most memCacheCap blobs (insertion-ordered
+// eviction): a long-running in-memory server must not grow without
+// bound, and a missing blob degrades to a 404, never an error.
+func (s *Store) PutBlob(hash string, data []byte) error {
+	if s.dir == "" {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.mu.Lock()
+		if _, ok := s.blobs[hash]; !ok {
+			s.blobOrder = append(s.blobOrder, hash)
+		}
+		s.blobs[hash] = cp
+		for len(s.blobs) > memCacheCap && len(s.blobOrder) > 0 {
+			victim := s.blobOrder[0]
+			s.blobOrder = s.blobOrder[1:]
+			delete(s.blobs, victim)
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "blob-*.tmp")
+	if err != nil {
+		return fmt.Errorf("engine: write checkpoint blob: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write checkpoint blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write checkpoint blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.blobPath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write checkpoint blob: %w", err)
+	}
+	s.noteWrite(hash+".model.bin", int64(len(data)))
+	return nil
+}
+
+// GetBlob returns the checkpoint blob stored under a content-address,
+// if present. Disk-backed stores read from disk on every call — blobs
+// are large and cold, so they are deliberately not held in memory.
+func (s *Store) GetBlob(hash string) ([]byte, bool, error) {
+	if s.dir == "" {
+		s.mu.Lock()
+		b, ok := s.blobs[hash]
+		s.mu.Unlock()
+		return b, ok, nil
+	}
+	raw, err := os.ReadFile(s.blobPath(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: read checkpoint blob: %w", err)
+	}
+	return raw, true, nil
+}
+
+// enforceCap evicts least-recently-modified cache files until the disk
+// footprint fits maxBytes. keep (a file name within the cache dir, "" =
+// none) is exempt so the write that triggered enforcement survives even
+// when it alone exceeds the cap. Evicted result entries are dropped
+// from the in-memory map too, so a later Get cannot resurrect them.
+func (s *Store) enforceCap(keep string) {
+	s.mu.Lock()
+	max := s.maxBytes
+	s.mu.Unlock()
+	if s.dir == "" || max <= 0 {
+		return
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type cacheFile struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []cacheFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		// In-flight temp files belong to concurrent writers; deleting
+		// one would fail that writer's rename after a successful run.
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, cacheFile{name: e.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= max {
+			break
+		}
+		if f.name == keep {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, f.name)); err != nil {
+			continue
+		}
+		total -= f.size
+		if hash, ok := strings.CutSuffix(f.name, ".json"); ok {
+			s.mu.Lock()
+			delete(s.mem, hash)
+			delete(s.use, hash)
+			s.mu.Unlock()
+		}
+	}
+	// Reset the estimate to the measured footprint so the next scan
+	// only happens after another maxBytes-total of writes at most.
+	s.mu.Lock()
+	s.approx = total
+	s.mu.Unlock()
 }
 
 // Len returns the number of in-memory entries.

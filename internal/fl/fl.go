@@ -47,6 +47,27 @@ func DefaultHyper() Hyper {
 	return Hyper{BatchSize: 32, LocalEpochs: 1, LR: 0.02, Momentum: 0.9, WeightDecay: 1e-4}
 }
 
+// Validate reports hyper-parameter errors that would otherwise surface
+// as NaNs or silently empty local epochs deep inside a run.
+func (h Hyper) Validate() error {
+	if h.BatchSize <= 0 {
+		return fmt.Errorf("fl: batch size %d, want > 0", h.BatchSize)
+	}
+	if h.LocalEpochs <= 0 {
+		return fmt.Errorf("fl: local epochs %d, want > 0", h.LocalEpochs)
+	}
+	if h.LR <= 0 || math.IsNaN(h.LR) || math.IsInf(h.LR, 0) {
+		return fmt.Errorf("fl: learning rate %g, want finite > 0", h.LR)
+	}
+	if h.Momentum < 0 || h.Momentum >= 1 || math.IsNaN(h.Momentum) {
+		return fmt.Errorf("fl: momentum %g, want in [0,1)", h.Momentum)
+	}
+	if h.WeightDecay < 0 || math.IsNaN(h.WeightDecay) || math.IsInf(h.WeightDecay, 0) {
+		return fmt.Errorf("fl: weight decay %g, want finite ≥ 0", h.WeightDecay)
+	}
+	return nil
+}
+
 // Env is the shared execution environment of one federated run: the frozen
 // encoder, the model architecture, hyper-parameters, and the deterministic
 // randomness source.
@@ -286,16 +307,47 @@ type Algorithm interface {
 }
 
 // FedAvg is the size-weighted parameter average (G = Σ n_i·G_i / Σ n_i)
-// that PARDON and most baselines aggregate with.
+// that PARDON and most baselines aggregate with. It allocates a fresh
+// output model; round loops should hold an Averager instead.
 func FedAvg(parts []*Client, updates []*nn.Model) (*nn.Model, error) {
+	var a Averager
+	return a.FedAvg(parts, updates)
+}
+
+// Averager is the reusable server-side FedAvg state: one output arena
+// and one weight buffer that are recycled across rounds, so steady-state
+// aggregation of K client updates performs zero heap allocations. An
+// Averager belongs to one run's aggregation loop and is not safe for
+// concurrent use; the model it returns is reused by the next call.
+type Averager struct {
+	weights []float64
+	out     *nn.Model
+}
+
+// FedAvg computes the size-weighted parameter average into the reused
+// output model. The accumulation is one fused arena axpy per client,
+// bit-identical to the historical per-tensor path.
+func (a *Averager) FedAvg(parts []*Client, updates []*nn.Model) (*nn.Model, error) {
 	if len(parts) != len(updates) {
 		return nil, fmt.Errorf("fl: %d participants vs %d updates", len(parts), len(updates))
 	}
-	weights := make([]float64, len(parts))
-	for i, c := range parts {
-		weights[i] = float64(c.Data.Len())
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: average of zero updates")
 	}
-	return nn.WeightedAverage(updates, weights)
+	if cap(a.weights) < len(parts) {
+		a.weights = make([]float64, len(parts))
+	}
+	w := a.weights[:len(parts)]
+	for i, c := range parts {
+		w[i] = float64(c.Data.Len())
+	}
+	if a.out == nil || !a.out.Cfg.Equal(updates[0].Cfg) {
+		a.out = nn.NewLike(updates[0])
+	}
+	if err := nn.WeightedAverageInto(a.out, updates, w); err != nil {
+		return nil, err
+	}
+	return a.out, nil
 }
 
 // RoundStats records the evaluation snapshot after one round.
@@ -349,7 +401,8 @@ func (h *History) Final() RoundStats {
 // RunConfig controls one federated run.
 type RunConfig struct {
 	Rounds int
-	// SampleK clients participate per round (clamped to [1, N]).
+	// SampleK clients participate per round; Run rejects values outside
+	// (0, N] at start (see Validate) — there is no silent clamping.
 	SampleK int
 	// EvalEvery evaluates every that-many rounds (and always on the last
 	// round). 0 means only the last round.
@@ -372,6 +425,25 @@ type RunConfig struct {
 	Parallelism int
 }
 
+// Validate reports configuration errors against a client population of
+// size numClients. SampleK must keep the per-round sample rate inside
+// (0, 1] — silently clamping it used to hide typo'd populations.
+func (c RunConfig) Validate(numClients int) error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: rounds %d, want > 0", c.Rounds)
+	}
+	if c.SampleK <= 0 || c.SampleK > numClients {
+		return fmt.Errorf("fl: SampleK %d outside (0, %d] for %d clients", c.SampleK, numClients, numClients)
+	}
+	if c.EvalEvery < 0 {
+		return fmt.Errorf("fl: EvalEvery %d, want ≥ 0", c.EvalEvery)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("fl: parallelism %d, want ≥ 0", c.Parallelism)
+	}
+	return nil
+}
+
 // Run executes a federated training run and returns the final global model
 // and its history. val and test may be nil to skip that evaluation.
 //
@@ -382,8 +454,11 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 	if len(clients) == 0 {
 		return nil, nil, fmt.Errorf("fl: no clients")
 	}
-	if cfg.Rounds <= 0 {
-		return nil, nil, fmt.Errorf("fl: rounds %d", cfg.Rounds)
+	if err := env.Hyper.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := cfg.Validate(len(clients)); err != nil {
+		return nil, nil, err
 	}
 	global, err := nn.New(env.ModelCfg, env.RNG.Stream("model-init"))
 	if err != nil {
@@ -471,7 +546,10 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 			cfg.OnRound(round+1, cfg.Rounds)
 		}
 	}
-	return global, hist, nil
+	// Detach the returned model from the algorithm's reused aggregation
+	// arena (Averager/FedGMA recycle their output across rounds — and
+	// across runs, if the caller reuses the algorithm instance).
+	return global.Clone(), hist, nil
 }
 
 func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -13,6 +13,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/rng"
 	"github.com/pardon-feddg/pardon/internal/synth"
 	"github.com/pardon-feddg/pardon/internal/tensor"
+	"github.com/pardon-feddg/pardon/internal/testref"
 )
 
 func testEnv(t *testing.T) (*fl.Env, *synth.Generator) {
@@ -143,9 +144,9 @@ func TestFedAvgWeighting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 0.75*ma.W1.Data()[0] + 0.25*mb.W1.Data()[0]
-	if diff := avg.W1.Data()[0] - want; diff > 1e-12 || diff < -1e-12 {
-		t.Fatalf("fedavg = %g, want %g", avg.W1.Data()[0], want)
+	want := 0.75*ma.Vector()[0] + 0.25*mb.Vector()[0]
+	if diff := avg.Vector()[0] - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("fedavg = %g, want %g", avg.Vector()[0], want)
 	}
 	if _, err := fl.FedAvg([]*fl.Client{ca}, nil); err == nil {
 		t.Fatal("length mismatch should error")
@@ -252,6 +253,137 @@ func TestRunConfigErrors(t *testing.T) {
 	}
 	if _, _, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 0, SampleK: 1}); err == nil {
 		t.Fatal("zero rounds should error")
+	}
+	// The sample rate must stay in (0, 1]: no silent clamping.
+	if _, _, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 1, SampleK: 0}); err == nil {
+		t.Fatal("zero SampleK should error")
+	}
+	if _, _, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 1, SampleK: len(clients) + 1}); err == nil {
+		t.Fatal("SampleK above the population should error")
+	}
+	if _, _, err := fl.Run(env, alg, clients, nil, nil, fl.RunConfig{Rounds: 1, SampleK: 1, EvalEvery: -1}); err == nil {
+		t.Fatal("negative EvalEvery should error")
+	}
+}
+
+// TestHyperValidation pins the run-start guard: hyper-parameters that
+// would silently produce NaNs or empty local epochs are rejected.
+func TestHyperValidation(t *testing.T) {
+	if err := fl.DefaultHyper().Validate(); err != nil {
+		t.Fatalf("default hyper rejected: %v", err)
+	}
+	bad := []fl.Hyper{
+		{BatchSize: 0, LocalEpochs: 1, LR: 0.1},
+		{BatchSize: -4, LocalEpochs: 1, LR: 0.1},
+		{BatchSize: 32, LocalEpochs: 0, LR: 0.1},
+		{BatchSize: 32, LocalEpochs: 1, LR: 0},
+		{BatchSize: 32, LocalEpochs: 1, LR: -0.1},
+		{BatchSize: 32, LocalEpochs: 1, LR: math.NaN()},
+		{BatchSize: 32, LocalEpochs: 1, LR: 0.1, Momentum: 1},
+		{BatchSize: 32, LocalEpochs: 1, LR: 0.1, Momentum: -0.5},
+		{BatchSize: 32, LocalEpochs: 1, LR: 0.1, WeightDecay: -1e-4},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: invalid hyper %+v accepted", i, h)
+		}
+	}
+	// And fl.Run enforces it.
+	env, gen := testEnv(t)
+	ds, _ := gen.GenerateDomain(0, 10, "hyper")
+	clients, _ := fl.NewClients(env, []*dataset.Dataset{ds})
+	env.Hyper.BatchSize = 0
+	if _, _, err := fl.Run(env, newCountingAlg(), clients, nil, nil, fl.RunConfig{Rounds: 1, SampleK: 1}); err == nil {
+		t.Fatal("fl.Run accepted BatchSize 0")
+	}
+}
+
+// legacyFedAvg aggregates the pre-refactor way — fresh clone, per-tensor
+// AddScaled loop — providing the reference run for the bit-identity test.
+type legacyFedAvg struct {
+	baselines.FedAvg
+}
+
+func (a *legacyFedAvg) Aggregate(_ *fl.Env, _ *nn.Model, parts []*fl.Client, updates []*nn.Model, _ int) (*nn.Model, error) {
+	weights := make([]float64, len(parts))
+	for i, c := range parts {
+		weights[i] = float64(c.Data.Len())
+	}
+	return testref.LegacyWeightedAverage(updates, weights)
+}
+
+// TestFedAvgRunMatchesLegacyAggregationBitwise is the end-to-end
+// equivalence proof behind the arena refactor: a Small-scale FedAvg run
+// whose server aggregates through the fused arena axpy must reproduce,
+// bit for bit, the same final parameters as the identical run aggregated
+// with the historical per-tensor path.
+func TestFedAvgRunMatchesLegacyAggregationBitwise(t *testing.T) {
+	env, gen := testEnv(t)
+	var parts []*dataset.Dataset
+	for i := 0; i < 5; i++ {
+		ds, err := gen.GenerateDomain(i%2, 12, "arena-eq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, ds)
+	}
+	clients, err := fl.NewClients(env, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.RunConfig{Rounds: 3, SampleK: 3}
+	arenaModel, _, err := fl.Run(env, &baselines.FedAvg{}, clients, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyModel, _, err := fl.Run(env, &legacyFedAvg{}, clients, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, lv := arenaModel.Vector(), legacyModel.Vector()
+	if len(av) != len(lv) {
+		t.Fatalf("param counts differ: %d vs %d", len(av), len(lv))
+	}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(lv[i]) {
+			t.Fatalf("arena and legacy aggregation diverge at param %d: %g vs %g", i, av[i], lv[i])
+		}
+	}
+}
+
+// TestAveragerZeroAllocSteadyState proves the per-round aggregation hot
+// path — weights, output arena, fused axpy — allocates nothing once warm.
+func TestAveragerZeroAllocSteadyState(t *testing.T) {
+	env, gen := testEnv(t)
+	var clients []*fl.Client
+	var updates []*nn.Model
+	for i := 0; i < 4; i++ {
+		ds, err := gen.GenerateDomain(i%2, 8+i, "alloc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := fl.NewClient(env, i, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		m, err := nn.New(env.ModelCfg, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, m)
+	}
+	var avg fl.Averager
+	if _, err := avg.FedAvg(clients, updates); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := avg.FedAvg(clients, updates); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FedAvg allocated %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -17,13 +17,15 @@ func identModel(t *testing.T) *nn.Model {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Params is canonical W,B per layer: W1,B1,W2,B2,WC,BC.
+	params := m.Params()
 	set := func(tt *tensor.Tensor, vals ...float64) { copy(tt.Data(), vals) }
-	set(m.W1, 1, 0, 0, 1)
-	set(m.B1, 0, 0)
-	set(m.W2, 1, 0, 0, 1)
-	set(m.B2, 0, 0)
-	set(m.WC, 1, 0, 0, 1)
-	set(m.BC, 0, 0)
+	set(params[0], 1, 0, 0, 1)
+	set(params[1], 0, 0)
+	set(params[2], 1, 0, 0, 1)
+	set(params[3], 0, 0)
+	set(params[4], 1, 0, 0, 1)
+	set(params[5], 0, 0)
 	return m
 }
 

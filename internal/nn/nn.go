@@ -1,12 +1,17 @@
 // Package nn implements the trainable model shared by every FedDG method
-// in the reproduction: a two-layer MLP feature extractor f: X → Z over
-// frozen-encoder features, plus a linear unified classifier g: Z → logits,
-// exactly the f/g decomposition of the paper's §III-B. Training is manual
-// backprop with SGD (momentum + weight decay).
+// in the reproduction: a feature-extractor stack f: X → Z over
+// frozen-encoder features (one or more ReLU hidden layers followed by a
+// linear embedding projection), plus a linear unified classifier
+// g: Z → logits — the f/g decomposition of the paper's §III-B. Training
+// is manual backprop with SGD (momentum + weight decay).
 //
-// The package also provides the parameter-space operations federated
-// algorithms need: deep cloning, weighted averaging (FedAvg), and flat
-// parameter vectors (FedGMA's sign masks).
+// Every parameter of a Model lives in one contiguous []float64 arena; the
+// per-layer weight and bias tensors are zero-copy views into it. That
+// makes the whole-model operations federated learning leans on —
+// cloning, broadcast, SGD steps, FedAvg/weighted aggregation, FedGMA's
+// flat sign-mask walks, serialization — single-slice sweeps instead of
+// per-tensor loops, with no per-round allocation (see WeightedAverageInto
+// and DESIGN.md §6).
 package nn
 
 import (
@@ -20,100 +25,247 @@ import (
 // Config describes the model architecture.
 type Config struct {
 	In      int // flattened encoder-feature dimension
-	Hidden  int // hidden width of the feature extractor
+	Hidden  int // hidden width of the feature extractor (single layer)
 	ZDim    int // embedding dimension (the space losses operate in)
 	Classes int // output classes
+	// HiddenDims, when non-empty, overrides Hidden with a stack of ReLU
+	// hidden layers of the given widths, so scenarios can sweep model
+	// depth/capacity. {In, Hidden} and {In, HiddenDims: []int{Hidden}}
+	// describe the same model.
+	HiddenDims []int
+}
+
+// hiddenDims returns the effective hidden-layer widths.
+func (c Config) hiddenDims() []int {
+	if len(c.HiddenDims) > 0 {
+		return c.HiddenDims
+	}
+	return []int{c.Hidden}
 }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if c.In <= 0 || c.Hidden <= 0 || c.ZDim <= 0 || c.Classes <= 0 {
+	if c.In <= 0 || c.ZDim <= 0 || c.Classes <= 0 {
 		return fmt.Errorf("nn: invalid config %+v", c)
+	}
+	if len(c.HiddenDims) == 0 && c.Hidden <= 0 {
+		return fmt.Errorf("nn: invalid config %+v", c)
+	}
+	for _, h := range c.HiddenDims {
+		if h <= 0 {
+			return fmt.Errorf("nn: non-positive hidden width in %v", c.HiddenDims)
+		}
 	}
 	return nil
 }
 
-// Model is feature extractor (W1,B1 → ReLU → W2,B2) + classifier (WC,BC).
-type Model struct {
-	Cfg Config
-	W1  *tensor.Tensor // (In, Hidden)
-	B1  *tensor.Tensor // (Hidden)
-	W2  *tensor.Tensor // (Hidden, ZDim)
-	B2  *tensor.Tensor // (ZDim)
-	WC  *tensor.Tensor // (ZDim, Classes)
-	BC  *tensor.Tensor // (Classes)
-}
-
-// New initializes a model with He-scaled weights drawn from r.
-func New(cfg Config, r *rand.Rand) (*Model, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// Equal reports whether two configs describe the same architecture
+// ({Hidden: 64} and {HiddenDims: []int{64}} are equal).
+func (c Config) Equal(o Config) bool {
+	if c.In != o.In || c.ZDim != o.ZDim || c.Classes != o.Classes {
+		return false
 	}
-	m := &Model{Cfg: cfg}
-	m.W1 = tensor.Randn(r, math.Sqrt(2.0/float64(cfg.In)), cfg.In, cfg.Hidden)
-	m.B1 = tensor.New(cfg.Hidden)
-	m.W2 = tensor.Randn(r, math.Sqrt(2.0/float64(cfg.Hidden)), cfg.Hidden, cfg.ZDim)
-	m.B2 = tensor.New(cfg.ZDim)
-	// The classifier starts near zero so initial logits are ~uniform and
-	// the first cross-entropy step is well-conditioned (loss ≈ ln C).
-	m.WC = tensor.Randn(r, 0.01, cfg.ZDim, cfg.Classes)
-	m.BC = tensor.New(cfg.Classes)
-	return m, nil
-}
-
-// Params returns the parameter tensors in canonical order.
-func (m *Model) Params() []*tensor.Tensor {
-	return []*tensor.Tensor{m.W1, m.B1, m.W2, m.B2, m.WC, m.BC}
-}
-
-// Clone deep-copies the model.
-func (m *Model) Clone() *Model {
-	return &Model{
-		Cfg: m.Cfg,
-		W1:  m.W1.Clone(), B1: m.B1.Clone(),
-		W2: m.W2.Clone(), B2: m.B2.Clone(),
-		WC: m.WC.Clone(), BC: m.BC.Clone(),
+	ch, oh := c.hiddenDims(), o.hiddenDims()
+	if len(ch) != len(oh) {
+		return false
 	}
+	for i := range ch {
+		if ch[i] != oh[i] {
+			return false
+		}
+	}
+	return true
 }
 
-// NumParams returns the total scalar parameter count.
-func (m *Model) NumParams() int {
+// layerShape is the static description of one affine layer of the stack.
+type layerShape struct {
+	in, out int
+	relu    bool
+}
+
+// layerShapes expands a config into the full stack: the hidden ReLU
+// layers, the linear embedding projection (output Z), and the linear
+// classifier (output logits).
+func (c Config) layerShapes() []layerShape {
+	hs := c.hiddenDims()
+	shapes := make([]layerShape, 0, len(hs)+2)
+	prev := c.In
+	for _, h := range hs {
+		shapes = append(shapes, layerShape{in: prev, out: h, relu: true})
+		prev = h
+	}
+	shapes = append(shapes, layerShape{in: prev, out: c.ZDim})
+	shapes = append(shapes, layerShape{in: c.ZDim, out: c.Classes})
+	return shapes
+}
+
+// arenaLen returns the total scalar parameter count of the stack.
+func (c Config) arenaLen() int {
 	n := 0
-	for _, p := range m.Params() {
-		n += p.Len()
+	for _, s := range c.layerShapes() {
+		n += s.in*s.out + s.out
 	}
 	return n
 }
 
-// ParamVector flattens all parameters into one vector (canonical order).
-func (m *Model) ParamVector() []float64 {
-	out := make([]float64, 0, m.NumParams())
-	for _, p := range m.Params() {
-		out = append(out, p.Data()...)
+// Layer is one affine layer of a model (or its gradient mirror): weight
+// and bias tensors that are zero-copy views into the owning arena.
+type Layer struct {
+	W *tensor.Tensor // (in, out)
+	B *tensor.Tensor // (out)
+	// ReLU reports whether the layer output passes through ReLU (hidden
+	// layers: yes; the embedding projection and classifier: no).
+	ReLU bool
+}
+
+// bindLayers carves an arena into per-layer W/B views in canonical order
+// (W then B, layer by layer). The views alias the arena: a single sweep
+// over it touches every parameter.
+func bindLayers(cfg Config, arena []float64) []Layer {
+	shapes := cfg.layerShapes()
+	layers := make([]Layer, len(shapes))
+	off := 0
+	for i, s := range shapes {
+		w := arena[off : off+s.in*s.out]
+		off += s.in * s.out
+		b := arena[off : off+s.out]
+		off += s.out
+		layers[i] = Layer{
+			W:    tensor.MustFromSlice(w, s.in, s.out),
+			B:    tensor.MustFromSlice(b, s.out),
+			ReLU: s.relu,
+		}
+	}
+	return layers
+}
+
+// Model is the feature-extractor stack plus classifier, backed by one
+// contiguous parameter arena.
+type Model struct {
+	Cfg    Config
+	arena  []float64
+	all    *tensor.Tensor // 1-D view over the whole arena
+	layers []Layer
+}
+
+// newEmpty allocates a zero-parameter model for a validated config.
+func newEmpty(cfg Config) *Model {
+	arena := make([]float64, cfg.arenaLen())
+	return &Model{
+		Cfg:    cfg,
+		arena:  arena,
+		all:    tensor.MustFromSlice(arena, len(arena)),
+		layers: bindLayers(cfg, arena),
+	}
+}
+
+// New initializes a model with He-scaled weights drawn from r. Draws
+// happen in canonical layer order, so for a single-hidden-layer config
+// the parameters are identical to the historical fixed-field model.
+func New(cfg Config, r *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newEmpty(cfg)
+	last := len(m.layers) - 1
+	for i, ly := range m.layers {
+		// The classifier starts near zero so initial logits are ~uniform
+		// and the first cross-entropy step is well-conditioned (loss ≈
+		// ln C); every other layer is He-scaled on its fan-in.
+		std := math.Sqrt(2.0 / float64(ly.W.Dim(0)))
+		if i == last {
+			std = 0.01
+		}
+		wd := ly.W.Data()
+		for j := range wd {
+			wd[j] = r.NormFloat64() * std
+		}
+	}
+	return m, nil
+}
+
+// NewLike returns a zero-parameter model with m's configuration — the
+// reusable destination for WeightedAverageInto and CopyFrom.
+func NewLike(m *Model) *Model {
+	return newEmpty(m.Cfg)
+}
+
+// Layers returns the layer stack (views into the arena; mutations are
+// visible to the model). The returned slice must not be modified.
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Classifier returns the unified-classifier layer g (the last of the
+// stack): views into the arena.
+func (m *Model) Classifier() Layer { return m.layers[len(m.layers)-1] }
+
+// Params returns the parameter tensors in canonical order (W then B,
+// layer by layer — for the single-hidden-layer config this is the
+// historical W1,B1,W2,B2,WC,BC order).
+func (m *Model) Params() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, 2*len(m.layers))
+	for _, ly := range m.layers {
+		out = append(out, ly.W, ly.B)
 	}
 	return out
 }
 
-// SetParamVector writes a flat vector (from ParamVector of a same-config
-// model) back into the parameters.
-func (m *Model) SetParamVector(v []float64) error {
-	if len(v) != m.NumParams() {
-		return fmt.Errorf("nn: param vector length %d, want %d", len(v), m.NumParams())
+// Clone deep-copies the model: one arena allocation plus view headers.
+func (m *Model) Clone() *Model {
+	cp := newEmpty(m.Cfg)
+	copy(cp.arena, m.arena)
+	return cp
+}
+
+// CopyFrom overwrites m's parameters with o's (same architecture
+// required) without allocating.
+func (m *Model) CopyFrom(o *Model) error {
+	if !m.Cfg.Equal(o.Cfg) {
+		return fmt.Errorf("nn: copy between configs %+v and %+v", o.Cfg, m.Cfg)
 	}
-	off := 0
-	for _, p := range m.Params() {
-		copy(p.Data(), v[off:off+p.Len()])
-		off += p.Len()
-	}
+	copy(m.arena, o.arena)
 	return nil
 }
 
-// Activations caches a forward pass for backprop.
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int { return len(m.arena) }
+
+// Vector returns the live flat parameter vector — a zero-copy view of
+// the arena in canonical order. Mutations are visible to the model;
+// callers that need a snapshot must use ParamVector.
+func (m *Model) Vector() []float64 { return m.arena }
+
+// ParamVector returns a copy of the flat parameter vector (canonical
+// order). It is the compatibility shim over the arena for callers that
+// hold parameter snapshots (landscape probes, engine Results); hot paths
+// should use Vector, which does not allocate.
+func (m *Model) ParamVector() []float64 {
+	out := make([]float64, len(m.arena))
+	copy(out, m.arena)
+	return out
+}
+
+// SetParamVector writes a flat vector (from ParamVector/Vector of a
+// same-config model) back into the arena. It copies into the existing
+// storage and never allocates.
+func (m *Model) SetParamVector(v []float64) error {
+	if len(v) != len(m.arena) {
+		return fmt.Errorf("nn: param vector length %d, want %d", len(v), len(m.arena))
+	}
+	copy(m.arena, v)
+	return nil
+}
+
+// Activations caches a forward pass for backprop. The per-layer buffers
+// are reused across same-size batches by ForwardInto.
 type Activations struct {
-	X      *tensor.Tensor // (B, In)
-	HPre   *tensor.Tensor // (B, Hidden) pre-ReLU
-	H      *tensor.Tensor // (B, Hidden)
-	Z      *tensor.Tensor // (B, ZDim) embedding
+	X *tensor.Tensor // (B, In)
+	// pre[i]/out[i] are layer i's pre-activation and output; for layers
+	// without ReLU they alias the same tensor.
+	pre []*tensor.Tensor
+	out []*tensor.Tensor
+	// Z is the embedding (the output of the second-to-last layer) and
+	// Logits the classifier output; both alias entries of out.
+	Z      *tensor.Tensor // (B, ZDim)
 	Logits *tensor.Tensor // (B, Classes)
 }
 
@@ -138,26 +290,48 @@ func (m *Model) ForwardInto(acts *Activations, x *tensor.Tensor) error {
 		return fmt.Errorf("nn: input shape %v, want (B,%d)", x.Shape(), m.Cfg.In)
 	}
 	b := x.Dim(0)
+	nL := len(m.layers)
+	if len(acts.pre) != nL {
+		acts.pre = make([]*tensor.Tensor, nL)
+		acts.out = make([]*tensor.Tensor, nL)
+	}
 	acts.X = x
-	acts.HPre = ensure2D(acts.HPre, b, m.Cfg.Hidden)
-	if err := tensor.MatMulInto(acts.HPre, x, m.W1); err != nil {
+	cur := x
+	for i, ly := range m.layers {
+		w := ly.W.Dim(1)
+		acts.pre[i] = ensure2D(acts.pre[i], b, w)
+		if err := tensor.MatMulInto(acts.pre[i], cur, ly.W); err != nil {
+			return err
+		}
+		addRowVector(acts.pre[i], ly.B)
+		if ly.ReLU {
+			acts.out[i] = ensure2D(acts.out[i], b, w)
+			if err := tensor.ApplyInto(acts.out[i], acts.pre[i], relu); err != nil {
+				return err
+			}
+		} else {
+			acts.out[i] = acts.pre[i]
+		}
+		cur = acts.out[i]
+	}
+	acts.Z = acts.out[nL-2]
+	acts.Logits = acts.out[nL-1]
+	return nil
+}
+
+// RecomputeLogits refreshes acts.Logits from acts.Z in place — for
+// methods that perturb the embedding after a forward pass (FedSR's
+// probabilistic representation) and need logits of the perturbed Z
+// without reallocating.
+func (m *Model) RecomputeLogits(acts *Activations) error {
+	if acts.Z == nil || acts.Logits == nil {
+		return fmt.Errorf("nn: RecomputeLogits before a forward pass")
+	}
+	cls := m.Classifier()
+	if err := tensor.MatMulInto(acts.Logits, acts.Z, cls.W); err != nil {
 		return err
 	}
-	addRowVector(acts.HPre, m.B1)
-	acts.H = ensure2D(acts.H, b, m.Cfg.Hidden)
-	if err := tensor.ApplyInto(acts.H, acts.HPre, relu); err != nil {
-		return err
-	}
-	acts.Z = ensure2D(acts.Z, b, m.Cfg.ZDim)
-	if err := tensor.MatMulInto(acts.Z, acts.H, m.W2); err != nil {
-		return err
-	}
-	addRowVector(acts.Z, m.B2)
-	acts.Logits = ensure2D(acts.Logits, b, m.Cfg.Classes)
-	if err := tensor.MatMulInto(acts.Logits, acts.Z, m.WC); err != nil {
-		return err
-	}
-	addRowVector(acts.Logits, m.BC)
+	addRowVector(acts.Logits, cls.B)
 	return nil
 }
 
@@ -178,41 +352,51 @@ func (m *Model) Embed(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return acts.Z, nil
 }
 
-// Grads accumulates parameter gradients; layout mirrors Model. It also
-// carries the backprop scratch buffers, which Backward reuses across
-// batches so a local-training loop allocates no temporaries steady-state.
+// Grads accumulates parameter gradients in an arena mirroring the
+// model's layout, so zeroing and SGD stepping are single-slice sweeps.
+// It also carries the backprop scratch buffers, which Backward reuses
+// across batches so a local-training loop allocates no temporaries
+// steady-state. Grads must not be shared across goroutines.
 type Grads struct {
-	W1, B1, W2, B2, WC, BC *tensor.Tensor
+	cfg    Config
+	arena  []float64
+	all    *tensor.Tensor
+	layers []Layer
 
-	// scratch holds Backward's temporaries: weight-gradient staging
-	// (fixed shapes) and the dZ/dH flows (reallocated only when the
-	// batch size changes). Grads must not be shared across goroutines.
+	// scratch holds Backward's temporaries: per-layer weight-gradient
+	// staging (fixed shapes) and the per-layer delta flows (reallocated
+	// only when the batch size changes).
 	scratch struct {
-		gW1, gW2, gWC *tensor.Tensor
-		dZ, dH        *tensor.Tensor
+		gW    []*tensor.Tensor
+		delta []*tensor.Tensor
 	}
 }
 
 // NewGrads allocates zeroed gradients for m.
 func (m *Model) NewGrads() *Grads {
-	return &Grads{
-		W1: tensor.New(m.Cfg.In, m.Cfg.Hidden), B1: tensor.New(m.Cfg.Hidden),
-		W2: tensor.New(m.Cfg.Hidden, m.Cfg.ZDim), B2: tensor.New(m.Cfg.ZDim),
-		WC: tensor.New(m.Cfg.ZDim, m.Cfg.Classes), BC: tensor.New(m.Cfg.Classes),
+	arena := make([]float64, len(m.arena))
+	g := &Grads{
+		cfg:    m.Cfg,
+		arena:  arena,
+		all:    tensor.MustFromSlice(arena, len(arena)),
+		layers: bindLayers(m.Cfg, arena),
 	}
+	g.scratch.gW = make([]*tensor.Tensor, len(g.layers))
+	g.scratch.delta = make([]*tensor.Tensor, len(g.layers)-1)
+	return g
 }
 
-// Zero resets all gradient accumulators.
-func (g *Grads) Zero() {
-	for _, t := range []*tensor.Tensor{g.W1, g.B1, g.W2, g.B2, g.WC, g.BC} {
-		t.Zero()
-	}
-}
+// Zero resets all gradient accumulators in one arena sweep.
+func (g *Grads) Zero() { g.all.Zero() }
 
 // Params returns gradient tensors in the same canonical order as
 // Model.Params.
 func (g *Grads) Params() []*tensor.Tensor {
-	return []*tensor.Tensor{g.W1, g.B1, g.W2, g.B2, g.WC, g.BC}
+	out := make([]*tensor.Tensor, 0, 2*len(g.layers))
+	for _, ly := range g.layers {
+		out = append(out, ly.W, ly.B)
+	}
+	return out
 }
 
 // Backward accumulates gradients for a cached forward pass into grads.
@@ -221,24 +405,33 @@ func (g *Grads) Params() []*tensor.Tensor {
 // gradient injected directly at the embedding (triplet, regularizer,
 // prototype losses), also optional.
 func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, grads *Grads) error {
+	nL := len(m.layers)
+	if len(acts.out) != nL || acts.out[nL-1] == nil {
+		return fmt.Errorf("nn: Backward before a forward pass of this model")
+	}
+	if !grads.cfg.Equal(m.Cfg) {
+		return fmt.Errorf("nn: grads built for config %+v, model has %+v", grads.cfg, m.Cfg)
+	}
 	b := acts.X.Dim(0)
 	sc := &grads.scratch
-	sc.dZ = ensure2D(sc.dZ, b, m.Cfg.ZDim)
-	dZ := sc.dZ
+	emb := nL - 2 // the embedding projection; layers[nL-1] is g
+	sc.delta[emb] = ensure2D(sc.delta[emb], b, m.Cfg.ZDim)
+	dZ := sc.delta[emb]
 	if dLogits != nil {
 		if dLogits.Dim(0) != b || dLogits.Dim(1) != m.Cfg.Classes {
 			return fmt.Errorf("nn: dLogits shape %v, want (%d,%d)", dLogits.Shape(), b, m.Cfg.Classes)
 		}
 		// Classifier grads, staged through the reusable scratch tensor.
-		sc.gWC = ensure2D(sc.gWC, m.Cfg.ZDim, m.Cfg.Classes)
-		if err := tensor.MatMulATBInto(sc.gWC, acts.Z, dLogits); err != nil {
+		cls := m.layers[nL-1]
+		sc.gW[nL-1] = ensure2D(sc.gW[nL-1], m.Cfg.ZDim, m.Cfg.Classes)
+		if err := tensor.MatMulATBInto(sc.gW[nL-1], acts.Z, dLogits); err != nil {
 			return err
 		}
-		if err := grads.WC.AddInPlace(sc.gWC); err != nil {
+		if err := grads.layers[nL-1].W.AddInPlace(sc.gW[nL-1]); err != nil {
 			return err
 		}
-		addColumnSums(grads.BC, dLogits)
-		if err := tensor.MatMulABTInto(dZ, dLogits, m.WC); err != nil {
+		addColumnSums(grads.layers[nL-1].B, dLogits)
+		if err := tensor.MatMulABTInto(dZ, dLogits, cls.W); err != nil {
 			return err
 		}
 	} else {
@@ -249,49 +442,56 @@ func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, gra
 			return fmt.Errorf("nn: dZExtra: %w", err)
 		}
 	}
-	// Layer 2.
-	sc.gW2 = ensure2D(sc.gW2, m.Cfg.Hidden, m.Cfg.ZDim)
-	if err := tensor.MatMulATBInto(sc.gW2, acts.H, dZ); err != nil {
-		return err
-	}
-	if err := grads.W2.AddInPlace(sc.gW2); err != nil {
-		return err
-	}
-	addColumnSums(grads.B2, dZ)
-	sc.dH = ensure2D(sc.dH, b, m.Cfg.Hidden)
-	dH := sc.dH
-	if err := tensor.MatMulABTInto(dH, dZ, m.W2); err != nil {
-		return err
-	}
-	// ReLU gate.
-	hp := acts.HPre.Data()
-	dh := dH.Data()
-	for i := range dh {
-		if hp[i] <= 0 {
-			dh[i] = 0
+	// Walk the extractor stack top-down: embedding projection, then each
+	// hidden layer with its ReLU gate.
+	d := dZ
+	for i := emb; i >= 0; i-- {
+		input := acts.X
+		if i > 0 {
+			input = acts.out[i-1]
 		}
+		inW, outW := m.layers[i].W.Dim(0), m.layers[i].W.Dim(1)
+		sc.gW[i] = ensure2D(sc.gW[i], inW, outW)
+		if err := tensor.MatMulATBInto(sc.gW[i], input, d); err != nil {
+			return err
+		}
+		if err := grads.layers[i].W.AddInPlace(sc.gW[i]); err != nil {
+			return err
+		}
+		addColumnSums(grads.layers[i].B, d)
+		if i == 0 {
+			break
+		}
+		sc.delta[i-1] = ensure2D(sc.delta[i-1], b, inW)
+		dPrev := sc.delta[i-1]
+		if err := tensor.MatMulABTInto(dPrev, d, m.layers[i].W); err != nil {
+			return err
+		}
+		if m.layers[i-1].ReLU {
+			// ReLU gate on the producing layer's pre-activation.
+			hp := acts.pre[i-1].Data()
+			dd := dPrev.Data()
+			for j := range dd {
+				if hp[j] <= 0 {
+					dd[j] = 0
+				}
+			}
+		}
+		d = dPrev
 	}
-	// Layer 1.
-	sc.gW1 = ensure2D(sc.gW1, m.Cfg.In, m.Cfg.Hidden)
-	if err := tensor.MatMulATBInto(sc.gW1, acts.X, dH); err != nil {
-		return err
-	}
-	if err := grads.W1.AddInPlace(sc.gW1); err != nil {
-		return err
-	}
-	addColumnSums(grads.B1, dH)
 	return nil
 }
 
 // SGD is a momentum SGD optimizer with decoupled weight decay and
-// optional global-norm gradient clipping.
+// optional global-norm gradient clipping. The velocity is one flat
+// vector mirroring the parameter arena, so a step is a single sweep.
 type SGD struct {
 	LR          float64
 	Momentum    float64
 	WeightDecay float64
 	// Clip bounds the global gradient norm before the update (0 = off).
 	Clip float64
-	vel  []*tensor.Tensor
+	vel  []float64
 }
 
 // NewSGD constructs an optimizer for one model instance. Clipping is off
@@ -302,77 +502,80 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 
 // Step applies one update: v ← m·v − lr·(g + wd·θ); θ ← θ + v.
 func (s *SGD) Step(m *Model, g *Grads) error {
-	params := m.Params()
-	gp := g.Params()
-	if s.vel == nil {
-		s.vel = make([]*tensor.Tensor, len(params))
-		for i, p := range params {
-			s.vel[i] = tensor.New(p.Shape()...)
-		}
+	pd, gd := m.arena, g.arena
+	if len(pd) != len(gd) {
+		return fmt.Errorf("nn: sgd param count %d vs grad count %d", len(pd), len(gd))
+	}
+	if len(s.vel) != len(pd) {
+		s.vel = make([]float64, len(pd))
 	}
 	if s.Clip > 0 {
 		total := 0.0
-		for _, gt := range gp {
-			for _, v := range gt.Data() {
-				total += v * v
-			}
+		for _, v := range gd {
+			total += v * v
 		}
 		if norm := math.Sqrt(total); norm > s.Clip {
-			scale := s.Clip / norm
-			for _, gt := range gp {
-				gt.Scale(scale)
-			}
+			g.all.Scale(s.Clip / norm)
 		}
 	}
-	for i, p := range params {
-		pd, gd, vd := p.Data(), gp[i].Data(), s.vel[i].Data()
-		if len(pd) != len(gd) {
-			return fmt.Errorf("nn: sgd param %d size mismatch %d vs %d", i, len(pd), len(gd))
-		}
-		for j := range pd {
-			vd[j] = s.Momentum*vd[j] - s.LR*(gd[j]+s.WeightDecay*pd[j])
-			pd[j] += vd[j]
-		}
+	vd := s.vel
+	for j := range pd {
+		vd[j] = s.Momentum*vd[j] - s.LR*(gd[j]+s.WeightDecay*pd[j])
+		pd[j] += vd[j]
 	}
 	return nil
 }
 
 // WeightedAverage returns the FedAvg combination Σ w_i·model_i of models
-// with the same configuration. Weights are normalized internally.
+// with the same configuration. Weights are normalized internally. The
+// accumulation is one fused axpy over each model's arena, bit-identical
+// to the historical per-tensor path.
 func WeightedAverage(models []*Model, weights []float64) (*Model, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("nn: average of zero models")
 	}
+	out := newEmpty(models[0].Cfg)
+	if err := WeightedAverageInto(out, models, weights); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WeightedAverageInto computes the normalized weighted average of the
+// models into dst, reusing dst's arena: zero steady-state allocations.
+// dst must not alias any of the models.
+func WeightedAverageInto(dst *Model, models []*Model, weights []float64) error {
+	if len(models) == 0 {
+		return fmt.Errorf("nn: average of zero models")
+	}
 	if len(weights) != len(models) {
-		return nil, fmt.Errorf("nn: %d weights for %d models", len(weights), len(models))
+		return fmt.Errorf("nn: %d weights for %d models", len(weights), len(models))
 	}
 	total := 0.0
 	for _, w := range weights {
 		if w < 0 {
-			return nil, fmt.Errorf("nn: negative weight %g", w)
+			return fmt.Errorf("nn: negative weight %g", w)
 		}
 		total += w
 	}
 	if total == 0 {
-		return nil, fmt.Errorf("nn: zero total weight")
-	}
-	out := models[0].Clone()
-	for _, p := range out.Params() {
-		p.Zero()
+		return fmt.Errorf("nn: zero total weight")
 	}
 	for i, m := range models {
-		if m.Cfg != out.Cfg {
-			return nil, fmt.Errorf("nn: model %d config %+v differs from %+v", i, m.Cfg, out.Cfg)
+		if !m.Cfg.Equal(dst.Cfg) {
+			return fmt.Errorf("nn: model %d config %+v differs from %+v", i, m.Cfg, dst.Cfg)
 		}
-		w := weights[i] / total
-		op := out.Params()
-		for pi, p := range m.Params() {
-			if err := op[pi].AddScaled(w, p); err != nil {
-				return nil, err
-			}
+		if &m.arena[0] == &dst.arena[0] {
+			return fmt.Errorf("nn: average destination aliases model %d", i)
 		}
 	}
-	return out, nil
+	dst.all.Zero()
+	for i, m := range models {
+		if err := tensor.AddScaledInto(dst.all, dst.all, weights[i]/total, m.all); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func relu(x float64) float64 {

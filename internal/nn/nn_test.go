@@ -8,6 +8,18 @@ import (
 	"github.com/pardon-feddg/pardon/internal/loss"
 	"github.com/pardon-feddg/pardon/internal/nn"
 	"github.com/pardon-feddg/pardon/internal/tensor"
+	"github.com/pardon-feddg/pardon/internal/testref"
+)
+
+// Canonical Params() indices for a single-hidden-layer model (the
+// historical W1,B1,W2,B2,WC,BC order).
+const (
+	idxW1 = iota
+	idxB1
+	idxW2
+	idxB2
+	idxWC
+	idxBC
 )
 
 func smallModel(t *testing.T, seed int64) *nn.Model {
@@ -22,6 +34,48 @@ func smallModel(t *testing.T, seed int64) *nn.Model {
 func TestConfigValidation(t *testing.T) {
 	if _, err := nn.New(nn.Config{In: 0, Hidden: 1, ZDim: 1, Classes: 1}, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("invalid config should error")
+	}
+	if _, err := nn.New(nn.Config{In: 1, ZDim: 1, Classes: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero hidden width should error")
+	}
+	if _, err := nn.New(nn.Config{In: 1, Hidden: 1, ZDim: 1, Classes: 1, HiddenDims: []int{4, 0}}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("non-positive HiddenDims entry should error")
+	}
+}
+
+func TestConfigEqual(t *testing.T) {
+	a := nn.Config{In: 4, Hidden: 8, ZDim: 2, Classes: 3}
+	b := nn.Config{In: 4, ZDim: 2, Classes: 3, HiddenDims: []int{8}}
+	if !a.Equal(b) {
+		t.Fatal("Hidden and HiddenDims spellings of the same stack must compare equal")
+	}
+	c := nn.Config{In: 4, ZDim: 2, Classes: 3, HiddenDims: []int{8, 8}}
+	if a.Equal(c) {
+		t.Fatal("different depths must not compare equal")
+	}
+}
+
+// HiddenDims must map onto the stack exactly as Hidden does for a single
+// layer: same parameter count, same draws, same forward output.
+func TestHiddenDimsBackwardCompatible(t *testing.T) {
+	cfgA := nn.Config{In: 6, Hidden: 5, ZDim: 4, Classes: 3}
+	cfgB := nn.Config{In: 6, ZDim: 4, Classes: 3, HiddenDims: []int{5}}
+	a, err := nn.New(cfgA, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nn.New(cfgB, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Vector(), b.Vector()
+	if len(av) != len(bv) {
+		t.Fatalf("param counts differ: %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+			t.Fatalf("param %d differs: %g vs %g", i, av[i], bv[i])
+		}
 	}
 }
 
@@ -43,13 +97,53 @@ func TestForwardShapes(t *testing.T) {
 	}
 }
 
-// The decisive test of the training stack: analytic gradients of the full
-// CE loss must match central finite differences for every parameter.
-func TestBackwardMatchesFiniteDifferences(t *testing.T) {
-	m := smallModel(t, 3)
+// TestDeepStackForward checks a multi-hidden-layer model end to end:
+// layer count, shapes, and a finite forward pass.
+func TestDeepStackForward(t *testing.T) {
+	cfg := nn.Config{In: 6, ZDim: 4, Classes: 3, HiddenDims: []int{10, 7, 5}}
+	m, err := nn.New(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := m.Layers()
+	if len(layers) != 5 { // 3 hidden + embedding + classifier
+		t.Fatalf("layer count %d, want 5", len(layers))
+	}
+	wantW := [][2]int{{6, 10}, {10, 7}, {7, 5}, {5, 4}, {4, 3}}
+	for i, ly := range layers {
+		if ly.W.Dim(0) != wantW[i][0] || ly.W.Dim(1) != wantW[i][1] {
+			t.Fatalf("layer %d weight shape %v, want %v", i, ly.W.Shape(), wantW[i])
+		}
+		wantReLU := i < 3
+		if ly.ReLU != wantReLU {
+			t.Fatalf("layer %d ReLU = %v", i, ly.ReLU)
+		}
+	}
+	x := tensor.Randn(rand.New(rand.NewSource(4)), 1, 9, 6)
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts.Z.Dim(1) != 4 || acts.Logits.Dim(1) != 3 {
+		t.Fatalf("Z %v logits %v", acts.Z.Shape(), acts.Logits.Shape())
+	}
+	for _, v := range acts.Logits.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite logits")
+		}
+	}
+}
+
+// checkBackwardFiniteDifferences compares analytic CE gradients against
+// central finite differences for every parameter tensor of m.
+func checkBackwardFiniteDifferences(t *testing.T, m *nn.Model, batch int) {
+	t.Helper()
 	r := rand.New(rand.NewSource(4))
-	x := tensor.Randn(r, 1, 5, 6)
-	labels := []int{0, 2, 1, 1, 0}
+	x := tensor.Randn(r, 1, batch, m.Cfg.In)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = r.Intn(m.Cfg.Classes)
+	}
 
 	lossAt := func() float64 {
 		acts, err := m.Forward(x)
@@ -99,6 +193,22 @@ func TestBackwardMatchesFiniteDifferences(t *testing.T) {
 	}
 }
 
+// The decisive test of the training stack: analytic gradients of the full
+// CE loss must match central finite differences for every parameter.
+func TestBackwardMatchesFiniteDifferences(t *testing.T) {
+	checkBackwardFiniteDifferences(t, smallModel(t, 3), 5)
+}
+
+// The same check through a three-hidden-layer stack exercises the
+// generalized backprop walk (multiple ReLU gates).
+func TestBackwardDeepStackFiniteDifferences(t *testing.T) {
+	m, err := nn.New(nn.Config{In: 6, ZDim: 4, Classes: 3, HiddenDims: []int{8, 6, 5}}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBackwardFiniteDifferences(t, m, 4)
+}
+
 // Gradients injected at the embedding (dZExtra) must flow correctly too.
 func TestBackwardDZExtraFiniteDifferences(t *testing.T) {
 	m := smallModel(t, 5)
@@ -127,12 +237,12 @@ func TestBackwardDZExtraFiniteDifferences(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Classifier params receive no gradient on this loss.
-	if grads.WC.Norm() != 0 || grads.BC.Norm() != 0 {
+	if grads.Params()[idxWC].Norm() != 0 || grads.Params()[idxBC].Norm() != 0 {
 		t.Fatal("embedding-only loss leaked into classifier grads")
 	}
 	const eps = 1e-6
-	pd := m.W1.Data()
-	gd := grads.W1.Data()
+	pd := m.Params()[idxW1].Data()
+	gd := grads.Params()[idxW1].Data()
 	for i := 0; i < len(pd); i += 7 {
 		orig := pd[i]
 		pd[i] = orig + eps
@@ -170,11 +280,29 @@ func TestParamVectorRoundTrip(t *testing.T) {
 	}
 }
 
+// ParamVector must be a snapshot (the compatibility shim), Vector a live
+// view of the arena, and Params zero-copy views into it.
+func TestVectorAliasing(t *testing.T) {
+	m := smallModel(t, 70)
+	snap := m.ParamVector()
+	live := m.Vector()
+	m.Params()[idxW1].Data()[0] += 42
+	if snap[0] == m.Vector()[0] {
+		t.Fatal("ParamVector must copy out of the arena")
+	}
+	if live[0] != m.Vector()[0] {
+		t.Fatal("Vector must alias the arena")
+	}
+	if m.Params()[idxW1].Data()[0] != live[0] {
+		t.Fatal("Params views must alias the arena")
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	m := smallModel(t, 9)
 	cp := m.Clone()
-	cp.W1.Data()[0] += 100
-	if m.W1.Data()[0] == cp.W1.Data()[0] {
+	cp.Params()[idxW1].Data()[0] += 100
+	if m.Params()[idxW1].Data()[0] == cp.Params()[idxW1].Data()[0] {
 		t.Fatal("clone aliases weights")
 	}
 }
@@ -206,28 +334,102 @@ func TestWeightedAverage(t *testing.T) {
 	}
 }
 
+// TestWeightedAverageMatchesLegacyBitwise pins the refactor's core
+// equivalence claim: the fused whole-arena axpy accumulates in exactly
+// the order the historical per-tensor loop did, so results agree to the
+// last bit.
+func TestWeightedAverageMatchesLegacyBitwise(t *testing.T) {
+	var models []*nn.Model
+	var weights []float64
+	for i := 0; i < 7; i++ {
+		models = append(models, smallModel(t, int64(20+i)))
+		weights = append(weights, float64(1+i*3))
+	}
+	got, err := nn.WeightedAverage(models, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := testref.LegacyWeightedAverage(models, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv, wv := got.Vector(), want.Vector()
+	for j := range gv {
+		if math.Float64bits(gv[j]) != math.Float64bits(wv[j]) {
+			t.Fatalf("param %d: fused %g vs legacy %g", j, gv[j], wv[j])
+		}
+	}
+}
+
+// TestWeightedAverageIntoZeroAlloc is the steady-state guard: with a
+// reused destination, aggregating K client models heap-allocates nothing.
+func TestWeightedAverageIntoZeroAlloc(t *testing.T) {
+	var models []*nn.Model
+	var weights []float64
+	for i := 0; i < 8; i++ {
+		models = append(models, smallModel(t, int64(40+i)))
+		weights = append(weights, float64(i+1))
+	}
+	dst := nn.NewLike(models[0])
+	if err := nn.WeightedAverageInto(dst, models, weights); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := nn.WeightedAverageInto(dst, models, weights); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state aggregation allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestWeightedAverageIntoRejectsAliasedDst(t *testing.T) {
+	a, b := smallModel(t, 50), smallModel(t, 51)
+	if err := nn.WeightedAverageInto(a, []*nn.Model{a, b}, []float64{1, 1}); err == nil {
+		t.Fatal("aliased destination should error")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := smallModel(t, 60), smallModel(t, 61)
+	if err := a.CopyFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Vector(), b.Vector()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("CopyFrom mismatch")
+		}
+	}
+	deep, _ := nn.New(nn.Config{In: 6, ZDim: 4, Classes: 3, HiddenDims: []int{5, 5}}, rand.New(rand.NewSource(1)))
+	if err := a.CopyFrom(deep); err == nil {
+		t.Fatal("architecture mismatch should error")
+	}
+}
+
 func TestSGDStep(t *testing.T) {
 	m := smallModel(t, 12)
-	before := m.W1.Data()[0]
+	before := m.Params()[idxW1].Data()[0]
 	g := m.NewGrads()
-	g.W1.Data()[0] = 1
+	g.Params()[idxW1].Data()[0] = 1
 	opt := nn.NewSGD(0.1, 0, 0)
 	if err := opt.Step(m, g); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(m.W1.Data()[0]-(before-0.1)) > 1e-12 {
-		t.Fatalf("sgd step: %g, want %g", m.W1.Data()[0], before-0.1)
+	if math.Abs(m.Params()[idxW1].Data()[0]-(before-0.1)) > 1e-12 {
+		t.Fatalf("sgd step: %g, want %g", m.Params()[idxW1].Data()[0], before-0.1)
 	}
 	// Momentum accumulates: second identical step moves farther.
 	m2 := smallModel(t, 12)
 	opt2 := nn.NewSGD(0.1, 0.9, 0)
 	g2 := m2.NewGrads()
-	g2.W1.Data()[0] = 1
+	g2.Params()[idxW1].Data()[0] = 1
 	_ = opt2.Step(m2, g2)
-	afterOne := m2.W1.Data()[0]
-	g2.W1.Data()[0] = 1
+	afterOne := m2.Params()[idxW1].Data()[0]
+	g2.Params()[idxW1].Data()[0] = 1
 	_ = opt2.Step(m2, g2)
-	stepTwo := afterOne - m2.W1.Data()[0]
+	stepTwo := afterOne - m2.Params()[idxW1].Data()[0]
 	if stepTwo <= 0.1 {
 		t.Fatalf("momentum should enlarge the second step, got %g", stepTwo)
 	}
@@ -261,9 +463,9 @@ func TestSGDClip(t *testing.T) {
 func TestGradsZero(t *testing.T) {
 	m := smallModel(t, 14)
 	g := m.NewGrads()
-	g.W2.Data()[0] = 5
+	g.Params()[idxW2].Data()[0] = 5
 	g.Zero()
-	if g.W2.Data()[0] != 0 {
+	if g.Params()[idxW2].Data()[0] != 0 {
 		t.Fatal("Zero failed")
 	}
 }
@@ -284,11 +486,11 @@ func TestForwardIntoReusesBuffers(t *testing.T) {
 	if err := m.ForwardInto(acts, x1); err != nil {
 		t.Fatal(err)
 	}
-	hPre, h, z, logits := acts.HPre, acts.H, acts.Z, acts.Logits
+	z, logits := acts.Z, acts.Logits
 	if err := m.ForwardInto(acts, x2); err != nil {
 		t.Fatal(err)
 	}
-	if acts.HPre != hPre || acts.H != h || acts.Z != z || acts.Logits != logits {
+	if acts.Z != z || acts.Logits != logits {
 		t.Fatal("ForwardInto reallocated buffers for a same-size batch")
 	}
 	want, err := m.Forward(x2)
@@ -306,5 +508,43 @@ func TestForwardIntoReusesBuffers(t *testing.T) {
 	}
 	if acts.Logits == logits || acts.Logits.Dim(0) != 3 {
 		t.Fatal("ForwardInto did not reshape for a different batch size")
+	}
+}
+
+// RecomputeLogits must agree with a fresh classifier pass over acts.Z.
+func TestRecomputeLogits(t *testing.T) {
+	m := smallModel(t, 15)
+	x := tensor.Randn(rand.New(rand.NewSource(16)), 1, 4, 6)
+	acts, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the embedding, then refresh the logits in place.
+	zd := acts.Z.Data()
+	for i := range zd {
+		zd[i] += 0.25
+	}
+	if err := m.RecomputeLogits(acts); err != nil {
+		t.Fatal(err)
+	}
+	cls := m.Classifier()
+	want, err := tensor.MatMul(acts.Z, cls.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, bd := want.Data(), cls.B.Data()
+	c := want.Dim(1)
+	for i := 0; i < want.Dim(0); i++ {
+		for j := 0; j < c; j++ {
+			wd[i*c+j] += bd[j]
+		}
+	}
+	for i, v := range acts.Logits.Data() {
+		if math.Abs(v-wd[i]) > 1e-12 {
+			t.Fatalf("logits[%d] = %g, want %g", i, v, wd[i])
+		}
+	}
+	if err := m.RecomputeLogits(&nn.Activations{}); err == nil {
+		t.Fatal("RecomputeLogits without a forward pass should error")
 	}
 }

@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint wire format (little-endian), the engine's model-blob
+// payload:
+//
+//	[4]byte  magic "PDNM"
+//	uint32   format version (1)
+//	int64    In, Hidden, ZDim, Classes
+//	int64    len(HiddenDims), then that many int64 widths
+//	int64    arena length
+//	float64  arena values (IEEE-754 bits), canonical layer order
+//
+// The header carries the Config verbatim (including whether depth came
+// from Hidden or HiddenDims), so UnmarshalBinary reconstructs a model
+// whose Canonical layout, Params order, and arena are bit-identical to
+// the marshalled one.
+var checkpointMagic = [4]byte{'P', 'D', 'N', 'M'}
+
+const checkpointVersion = 1
+
+// Plausibility bounds applied while decoding, before any size-derived
+// allocation: together they keep cfg.arenaLen far from int64 overflow
+// (≤ ~2^51) and cap header-driven allocations.
+const (
+	maxCheckpointDim   = 1 << 20
+	maxCheckpointDepth = 1024
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: a shape header plus
+// the raw parameter arena.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	size := 4 + 4 + 8*4 + 8 + 8*len(m.Cfg.HiddenDims) + 8 + 8*len(m.arena)
+	out := make([]byte, 0, size)
+	out = append(out, checkpointMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, checkpointVersion)
+	for _, v := range []int{m.Cfg.In, m.Cfg.Hidden, m.Cfg.ZDim, m.Cfg.Classes} {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(v)))
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(int64(len(m.Cfg.HiddenDims))))
+	for _, h := range m.Cfg.HiddenDims {
+		out = binary.LittleEndian.AppendUint64(out, uint64(int64(h)))
+	}
+	out = binary.LittleEndian.AppendUint64(out, uint64(int64(len(m.arena))))
+	for _, v := range m.arena {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, rebuilding the
+// arena and its layer views from a MarshalBinary payload.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	r := byteReader{buf: data}
+	var magic [4]byte
+	if err := r.bytes(magic[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: checkpoint: bad magic %q", magic[:])
+	}
+	ver, err := r.uint32()
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if ver != checkpointVersion {
+		return fmt.Errorf("nn: checkpoint: unsupported format version %d", ver)
+	}
+	var cfg Config
+	for _, dst := range []*int{&cfg.In, &cfg.Hidden, &cfg.ZDim, &cfg.Classes} {
+		v, err := r.int64()
+		if err != nil {
+			return fmt.Errorf("nn: checkpoint: %w", err)
+		}
+		*dst = int(v)
+	}
+	nHidden, err := r.int64()
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	// Depth is capped BEFORE the slice allocation: a corrupt header
+	// must not force a huge make.
+	if nHidden < 0 || nHidden > maxCheckpointDepth {
+		return fmt.Errorf("nn: checkpoint: implausible hidden-layer count %d (max %d)", nHidden, maxCheckpointDepth)
+	}
+	if nHidden > 0 {
+		cfg.HiddenDims = make([]int, nHidden)
+		for i := range cfg.HiddenDims {
+			v, err := r.int64()
+			if err != nil {
+				return fmt.Errorf("nn: checkpoint: %w", err)
+			}
+			cfg.HiddenDims[i] = int(v)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	// Bound every dimension before touching cfg.arenaLen: a crafted
+	// header must not overflow the size arithmetic or trigger a huge
+	// allocation the payload cannot back.
+	dims := append([]int{cfg.In, cfg.ZDim, cfg.Classes, cfg.Hidden}, cfg.HiddenDims...)
+	for _, d := range dims {
+		if d > maxCheckpointDim {
+			return fmt.Errorf("nn: checkpoint: implausible dimension %d (max %d)", d, maxCheckpointDim)
+		}
+	}
+	n, err := r.int64()
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint: %w", err)
+	}
+	if n != int64(cfg.arenaLen()) {
+		return fmt.Errorf("nn: checkpoint: arena length %d does not match config (want %d)", n, cfg.arenaLen())
+	}
+	// The payload must actually contain the arena before it is
+	// allocated (dims are bounded, so 8*n cannot overflow).
+	if int64(r.remaining()) != 8*n {
+		return fmt.Errorf("nn: checkpoint: %d payload bytes for %d parameters", r.remaining(), n)
+	}
+	fresh := newEmpty(cfg)
+	for i := range fresh.arena {
+		bits, err := r.uint64()
+		if err != nil {
+			return fmt.Errorf("nn: checkpoint: %w", err)
+		}
+		fresh.arena[i] = math.Float64frombits(bits)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("nn: checkpoint: %d trailing bytes", r.remaining())
+	}
+	*m = *fresh
+	return nil
+}
+
+// LoadModel decodes a MarshalBinary payload into a fresh model.
+func LoadModel(data []byte) (*Model, error) {
+	m := &Model{}
+	if err := m.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// byteReader is a minimal cursor over a checkpoint payload.
+type byteReader struct {
+	buf []byte
+	off int
+}
+
+func (r *byteReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *byteReader) bytes(dst []byte) error {
+	if r.remaining() < len(dst) {
+		return fmt.Errorf("truncated payload (%d bytes left, need %d)", r.remaining(), len(dst))
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+	return nil
+}
+
+func (r *byteReader) uint32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("truncated payload (%d bytes left, need 4)", r.remaining())
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *byteReader) uint64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("truncated payload (%d bytes left, need 8)", r.remaining())
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *byteReader) int64() (int64, error) {
+	v, err := r.uint64()
+	return int64(v), err
+}

@@ -1,0 +1,151 @@
+package nn_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/nn"
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+// TestMarshalRoundTripAcrossConfigs is the checkpoint property test: for
+// a spread of architectures (legacy single-hidden and HiddenDims stacks)
+// a marshal/unmarshal round trip must reproduce the config and every
+// parameter bit, and the restored model must forward identically.
+func TestMarshalRoundTripAcrossConfigs(t *testing.T) {
+	configs := []nn.Config{
+		{In: 4, Hidden: 3, ZDim: 2, Classes: 2},
+		{In: 6, Hidden: 5, ZDim: 4, Classes: 3},
+		{In: 6, ZDim: 4, Classes: 3, HiddenDims: []int{5}},
+		{In: 8, ZDim: 4, Classes: 5, HiddenDims: []int{12, 6}},
+		{In: 10, ZDim: 3, Classes: 2, HiddenDims: []int{7, 7, 7}},
+		{In: 1, Hidden: 1, ZDim: 1, Classes: 1},
+	}
+	for ci, cfg := range configs {
+		r := rand.New(rand.NewSource(int64(100 + ci)))
+		m, err := nn.New(cfg, r)
+		if err != nil {
+			t.Fatalf("config %d: %v", ci, err)
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("config %d: marshal: %v", ci, err)
+		}
+		got, err := nn.LoadModel(blob)
+		if err != nil {
+			t.Fatalf("config %d: unmarshal: %v", ci, err)
+		}
+		if !got.Cfg.Equal(m.Cfg) {
+			t.Fatalf("config %d: round-tripped config %+v, want %+v", ci, got.Cfg, m.Cfg)
+		}
+		if len(got.Cfg.HiddenDims) != len(m.Cfg.HiddenDims) || got.Cfg.Hidden != m.Cfg.Hidden {
+			t.Fatalf("config %d: depth spelling changed: %+v vs %+v", ci, got.Cfg, m.Cfg)
+		}
+		gv, mv := got.Vector(), m.Vector()
+		if len(gv) != len(mv) {
+			t.Fatalf("config %d: param count %d, want %d", ci, len(gv), len(mv))
+		}
+		for j := range gv {
+			if math.Float64bits(gv[j]) != math.Float64bits(mv[j]) {
+				t.Fatalf("config %d: param %d = %g, want %g", ci, j, gv[j], mv[j])
+			}
+		}
+		// The restored model must be usable: identical forward pass.
+		x := tensor.Randn(rand.New(rand.NewSource(int64(200+ci))), 1, 3, cfg.In)
+		wantActs, err := m.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotActs, err := got.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range gotActs.Logits.Data() {
+			if math.Float64bits(v) != math.Float64bits(wantActs.Logits.Data()[j]) {
+				t.Fatalf("config %d: forward diverges at logit %d", ci, j)
+			}
+		}
+	}
+}
+
+// Special float values (NaN, ±Inf, -0) must survive the bit-level round
+// trip — checkpoints must never silently launder a diverged model.
+func TestMarshalPreservesSpecialValues(t *testing.T) {
+	m, err := nn.New(nn.Config{In: 3, Hidden: 2, ZDim: 2, Classes: 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.Vector()
+	v[0] = math.NaN()
+	v[1] = math.Inf(1)
+	v[2] = math.Inf(-1)
+	v[3] = math.Copysign(0, -1)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nn.LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv := got.Vector()
+	for i := 0; i < 4; i++ {
+		if math.Float64bits(gv[i]) != math.Float64bits(v[i]) {
+			t.Fatalf("special value %d not preserved: bits %x vs %x", i, math.Float64bits(gv[i]), math.Float64bits(v[i]))
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruptPayloads(t *testing.T) {
+	m, err := nn.New(nn.Config{In: 4, Hidden: 3, ZDim: 2, Classes: 2}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        append([]byte("XXXX"), blob[4:]...),
+		"truncated header": blob[:10],
+		"truncated arena":  blob[:len(blob)-5],
+		"trailing bytes":   append(append([]byte{}, blob...), 0),
+	}
+	for name, data := range cases {
+		if _, err := nn.LoadModel(data); err == nil {
+			t.Errorf("%s payload accepted", name)
+		}
+	}
+}
+
+// A crafted header with absurd dimensions must be rejected with an
+// error before any allocation — never a panic or a multi-GB make.
+func TestUnmarshalRejectsImplausibleHeader(t *testing.T) {
+	le := binary.LittleEndian
+	craft := func(in, hidden, zdim, classes, arenaLen uint64) []byte {
+		b := []byte("PDNM")
+		b = le.AppendUint32(b, 1)
+		for _, v := range []uint64{in, hidden, zdim, classes} {
+			b = le.AppendUint64(b, v)
+		}
+		b = le.AppendUint64(b, 0) // no HiddenDims
+		b = le.AppendUint64(b, arenaLen)
+		return b
+	}
+	cases := map[string][]byte{
+		// 3037000500² overflows int64 in the size arithmetic.
+		"overflowing dims": craft(3037000500, 3037000500, 2, 2, 1),
+		// Huge but non-overflowing dims with a "matching" length and no
+		// payload behind them.
+		"unbacked giant arena": craft(1<<19, 1<<19, 2, 2, (1<<19)*(1<<19)+(1<<19)+(1<<19)*2+2+2*2+2),
+		"negative arena":       craft(4, 3, 2, 2, 1<<63),
+	}
+	for name, data := range cases {
+		if _, err := nn.LoadModel(data); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package testref preserves reference implementations of pre-refactor
+// code paths as shared ground truth for equivalence tests and
+// benchmarks. It is imported only from _test files; production code
+// must not depend on it.
+package testref
+
+import (
+	"fmt"
+
+	"github.com/pardon-feddg/pardon/internal/nn"
+)
+
+// LegacyWeightedAverage is the historical per-tensor FedAvg: clone the
+// first model, zero every tensor, then accumulate each model's tensors
+// with AddScaled in canonical order. The fused arena path
+// (nn.WeightedAverageInto) is proven bit-identical to this.
+func LegacyWeightedAverage(models []*nn.Model, weights []float64) (*nn.Model, error) {
+	if len(models) == 0 || len(weights) != len(models) {
+		return nil, fmt.Errorf("testref: %d weights for %d models", len(weights), len(models))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	out := models[0].Clone()
+	for _, p := range out.Params() {
+		p.Zero()
+	}
+	for i, m := range models {
+		w := weights[i] / total
+		op := out.Params()
+		for pi, p := range m.Params() {
+			if err := op[pi].AddScaled(w, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
