@@ -1,0 +1,173 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxReconnects bounds how many consecutive transport drops an
+// EventStream repairs before giving up; a successful frame resets the
+// budget.
+const maxReconnects = 5
+
+// EventStream iterates a Server-Sent-Events progress stream. Next
+// returns one Event per frame and io.EOF after the server's terminal
+// `end` frame; a transport drop before `end` triggers a transparent
+// reconnect (the server opens every subscription with a current-state
+// snapshot, so a resumed stream cannot miss the terminal transition —
+// at the cost of possibly re-observing the latest snapshot).
+type EventStream struct {
+	ctx     context.Context
+	c       *Client
+	path    string
+	resp    *http.Response
+	br      *bufio.Reader
+	lastID  string
+	retries int
+	sawEnd  bool
+	closed  bool
+}
+
+// stream opens the initial SSE connection.
+func (c *Client) stream(ctx context.Context, path string) (*EventStream, error) {
+	s := &EventStream{ctx: ctx, c: c, path: path}
+	if err := s.connect(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// connect (re)establishes the SSE transport.
+func (s *EventStream) connect() error {
+	req, err := http.NewRequestWithContext(s.ctx, http.MethodGet, s.c.base+s.path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Cache-Control", "no-cache")
+	if s.lastID != "" {
+		req.Header.Set("Last-Event-ID", s.lastID)
+	}
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return parseAPIError(resp.StatusCode, raw)
+	}
+	s.resp = resp
+	s.br = bufio.NewReader(resp.Body)
+	return nil
+}
+
+// reconnect tears down the dropped transport and dials again with a
+// small linear backoff. A definitive API answer (4xx — e.g. the job
+// was evicted from the server's retention between drops) aborts the
+// retries: it is the real cause, and repeating the request cannot
+// change it.
+func (s *EventStream) reconnect() error {
+	s.closeResp()
+	for {
+		s.retries++
+		if s.retries > maxReconnects {
+			return fmt.Errorf("client: event stream %s: gave up after %d reconnects", s.path, maxReconnects)
+		}
+		select {
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		case <-time.After(time.Duration(s.retries) * 100 * time.Millisecond):
+		}
+		err := s.connect()
+		if err == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status >= 400 && apiErr.Status < 500 {
+			return err
+		}
+	}
+}
+
+// Next returns the next Event, or io.EOF once the stream has ended
+// cleanly (the work is terminal). Any other error means the stream
+// could not be repaired.
+func (s *EventStream) Next() (Event, error) {
+	if s.sawEnd || s.closed {
+		return Event{}, io.EOF
+	}
+	for {
+		name, data, err := s.readFrame()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return Event{}, s.ctx.Err()
+			}
+			if err := s.reconnect(); err != nil {
+				return Event{}, err
+			}
+			continue
+		}
+		s.retries = 0
+		if name == "end" {
+			s.sawEnd = true
+			s.closeResp()
+			return Event{}, io.EOF
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return Event{}, fmt.Errorf("client: bad event frame: %w", err)
+		}
+		return ev, nil
+	}
+}
+
+// readFrame parses one SSE frame: `id:`/`event:`/`data:` lines up to a
+// blank separator.
+func (s *EventStream) readFrame() (name, data string, err error) {
+	var dataLines []string
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return "", "", err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if name != "" || len(dataLines) > 0 {
+				return name, strings.Join(dataLines, "\n"), nil
+			}
+			// Leading keep-alive blank line; keep reading.
+		case strings.HasPrefix(line, "id:"):
+			s.lastID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			dataLines = append(dataLines, strings.TrimSpace(line[len("data:"):]))
+		case strings.HasPrefix(line, ":"):
+			// Comment / keep-alive; ignore.
+		}
+	}
+}
+
+// Close releases the stream's transport. Safe to call more than once
+// and after io.EOF.
+func (s *EventStream) Close() error {
+	s.closed = true
+	s.closeResp()
+	return nil
+}
+
+func (s *EventStream) closeResp() {
+	if s.resp != nil {
+		s.resp.Body.Close()
+		s.resp = nil
+	}
+}

@@ -1,12 +1,16 @@
-// Command feddg regenerates the paper's tables and figures, and serves
-// the experiment engine over HTTP.
+// Command feddg regenerates the paper's tables and figures, serves the
+// experiment engine over HTTP, and drives a remote engine through the
+// public client SDK.
 //
 // Usage:
 //
 //	feddg -exp table1 [-scale small|paper] [-seed N] [-seeds K] [-out DIR]
 //	       [-cache DIR] [-cache-max-bytes N] [-workers N] [-save-model DIR]
 //	feddg -exp all -scale small
-//	feddg serve [-addr :8080] [-cache DIR] [-cache-max-bytes N] [-workers N]
+//	feddg serve  [-addr :8080] [-cache DIR] [-cache-max-bytes N] [-workers N]
+//	feddg submit -spec FILE|- [-server URL] [-wait] [-priority N] [-parallelism N]
+//	feddg sweep  -sweep FILE|- [-server URL] [-wait] [-watch] [-priority N] [-parallelism N]
+//	feddg watch  ID [-server URL]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
 // fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
@@ -14,19 +18,33 @@
 // are memoized on disk by content-address, so re-generating a table over
 // an unchanged cache does zero federated rounds.
 //
-// `feddg serve` exposes submit/status/result/cancel over HTTP/JSON; see
-// README.md for the job lifecycle and wire format.
+// `feddg serve` exposes the v2 experiment API (jobs, sweeps, SSE event
+// streams, model checkpoints) over HTTP/JSON and shuts down gracefully
+// on SIGINT/SIGTERM. `feddg submit`, `feddg sweep`, and `feddg watch`
+// are thin wrappers over the typed client package speaking to a remote
+// server: submit one Spec, submit a parameter grid, or follow live
+// per-round progress of a job (job-N) or sweep (sweep-N). See README.md
+// for the job lifecycle and wire format.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
+	"github.com/pardon-feddg/pardon/client"
 	"github.com/pardon-feddg/pardon/internal/attack"
 	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
@@ -40,8 +58,17 @@ func main() {
 }
 
 func run() error {
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		return serve(os.Args[2:])
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			return serve(os.Args[2:])
+		case "submit":
+			return submitCmd(os.Args[2:])
+		case "sweep":
+			return sweepCmd(os.Args[2:])
+		case "watch":
+			return watchCmd(os.Args[2:])
+		}
 	}
 	var (
 		expFlag       = flag.String("exp", "", "experiment id (table1..table5, fig1, fig3..fig8, all)")
@@ -130,7 +157,10 @@ func saveModels(eng *engine.Engine, dir string) (int, error) {
 }
 
 // serve runs the experiment engine behind the HTTP/JSON job API until
-// the process is killed.
+// the process receives SIGINT or SIGTERM, then drains gracefully:
+// in-flight requests (including SSE streams, whose contexts derive from
+// the signal context) get shutdownGrace to finish before the listener
+// is forced closed, and the engine cancels any still-running jobs.
 func serve(args []string) error {
 	fs := flag.NewFlagSet("feddg serve", flag.ContinueOnError)
 	var (
@@ -155,8 +185,218 @@ func serve(args []string) error {
 	if cache == "" {
 		cache = "(memory)"
 	}
+
+	const shutdownGrace = 10 * time.Second
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{
+		Addr:    *addrFlag,
+		Handler: engine.NewServer(eng),
+		// Request contexts derive from the signal context, so open SSE
+		// streams end when shutdown starts instead of pinning Shutdown
+		// until the grace period expires.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("feddg serve: listening on %s, cache %s", *addrFlag, cache)
-	return http.ListenAndServe(*addrFlag, engine.NewServer(eng))
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process instead of queueing
+	log.Printf("feddg serve: shutting down (grace %s)", shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("feddg serve: graceful shutdown incomplete: %v", err)
+		_ = srv.Close()
+	}
+	// The deferred eng.Close() cancels pending and running jobs and
+	// drains the worker pool before the process exits.
+	return nil
+}
+
+// clientFlags adds the flags every remote subcommand shares.
+func clientFlags(fs *flag.FlagSet) *string {
+	return fs.String("server", "http://127.0.0.1:8080", "base URL of a running `feddg serve`")
+}
+
+// readJSONArg decodes a JSON document from a file path or, for "-",
+// standard input. Unknown fields are rejected — the CLI re-marshals
+// the typed struct, so a typo'd axis name ("method" for "methods")
+// would otherwise silently vanish before the server's own strict
+// decoding could catch it.
+func readJSONArg(path string, dst any) error {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// printJSON pretty-prints a response value to stdout.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// submitCmd submits one Spec to a remote server through the client SDK.
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("feddg submit", flag.ContinueOnError)
+	server := clientFlags(fs)
+	var (
+		specFlag = fs.String("spec", "", "Spec JSON file (- = stdin)")
+		waitFlag = fs.Bool("wait", false, "block until the job is terminal and print its result")
+		prioFlag = fs.Int("priority", 0, "queue priority (higher runs first)")
+		parFlag  = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specFlag == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -spec FILE|-")
+	}
+	var spec client.Spec
+	if err := readJSONArg(*specFlag, &spec); err != nil {
+		return fmt.Errorf("read spec: %w", err)
+	}
+	ctx := context.Background()
+	c := client.New(*server)
+	// Submit async and wait client-side: client.Wait survives transport
+	// drops (SSE with reconnect, polling fallback), where a single
+	// server-side wait=true request would die with the connection.
+	view, err := c.Submit(ctx, spec,
+		client.SubmitOptions{Priority: *prioFlag, Parallelism: *parFlag})
+	if err != nil {
+		return err
+	}
+	if *waitFlag {
+		result, err := c.Wait(ctx, view.ID)
+		if err != nil {
+			return err
+		}
+		if view, err = c.Job(ctx, view.ID); err != nil {
+			return err
+		}
+		view.Result = result
+	}
+	return printJSON(view)
+}
+
+// sweepCmd submits a parameter grid to a remote server; with -watch it
+// follows the merged event stream until every job is terminal.
+func sweepCmd(args []string) error {
+	fs := flag.NewFlagSet("feddg sweep", flag.ContinueOnError)
+	server := clientFlags(fs)
+	var (
+		sweepFlag = fs.String("sweep", "", "Sweep JSON file (- = stdin)")
+		waitFlag  = fs.Bool("wait", false, "block until every sweep job is terminal and print results")
+		watchFlag = fs.Bool("watch", false, "stream live per-round progress while waiting (implies -wait)")
+		prioFlag  = fs.Int("priority", 0, "queue priority (higher runs first)")
+		parFlag   = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = server default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sweepFlag == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -sweep FILE|-")
+	}
+	var sw client.Sweep
+	if err := readJSONArg(*sweepFlag, &sw); err != nil {
+		return fmt.Errorf("read sweep: %w", err)
+	}
+	ctx := context.Background()
+	c := client.New(*server)
+	// Submit async; -wait/-watch then block client-side, where the SDK
+	// reconnects across transport drops instead of dying with a single
+	// long-lived wait=true request.
+	view, err := c.SubmitSweep(ctx, sw,
+		client.SubmitOptions{Priority: *prioFlag, Parallelism: *parFlag})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *watchFlag:
+		fmt.Printf("sweep %s: %d jobs (%d cells)\n", view.ID, view.Counts.Unique, view.Counts.Total)
+		if err := watchEvents(ctx, c, view.ID); err != nil {
+			return err
+		}
+		if view, err = c.Sweep(ctx, view.ID); err != nil {
+			return err
+		}
+	case *waitFlag:
+		if view, err = c.WaitSweep(ctx, view.ID); err != nil {
+			return err
+		}
+	}
+	if err := printJSON(view); err != nil {
+		return err
+	}
+	if (*waitFlag || *watchFlag) && view.Counts.Failed > 0 {
+		return fmt.Errorf("sweep %s: %d of %d jobs failed", view.ID, view.Counts.Failed, view.Counts.Unique)
+	}
+	return nil
+}
+
+// watchCmd follows the live event stream of a job (job-N) or sweep
+// (sweep-N) until it is terminal.
+func watchCmd(args []string) error {
+	fs := flag.NewFlagSet("feddg watch", flag.ContinueOnError)
+	server := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("usage: feddg watch [-server URL] job-N|sweep-N")
+	}
+	return watchEvents(context.Background(), client.New(*server), fs.Arg(0))
+}
+
+// watchEvents streams an ID's events to stdout, one line per event.
+func watchEvents(ctx context.Context, c *client.Client, id string) error {
+	var stream *client.EventStream
+	var err error
+	if strings.HasPrefix(id, "sweep-") {
+		stream, err = c.SweepEvents(ctx, id)
+	} else {
+		stream, err = c.Events(ctx, id)
+	}
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	for {
+		ev, err := stream.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if ev.Rounds > 0 {
+			fmt.Printf("%s  %-9s  round %d/%d\n", ev.JobID, ev.State, ev.Round, ev.Rounds)
+		} else {
+			fmt.Printf("%s  %-9s\n", ev.JobID, ev.State)
+		}
+		if ev.Err != "" {
+			fmt.Printf("%s  error: %s\n", ev.JobID, ev.Err)
+		}
+	}
 }
 
 func runExperiment(exp string, cfg eval.Config, outDir string) error {

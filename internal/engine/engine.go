@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -120,6 +121,11 @@ type Engine struct {
 	cacheHits atomic.Int64
 	coalesced atomic.Int64
 	rounds    atomic.Int64
+
+	batchMu    sync.Mutex
+	batches    map[string]*Batch
+	batchOrder []string
+	nextBatch  int64
 }
 
 // New opens an Engine.
@@ -150,6 +156,7 @@ func New(opts Options) (*Engine, error) {
 		sched:       newScheduler(workers),
 		scenarios:   newScenarioCache(opts.ScenarioCap),
 		parallelism: par,
+		batches:     map[string]*Batch{},
 	}, nil
 }
 
@@ -259,6 +266,91 @@ func (e *Engine) SubmitFunc(key string, priority int, fn JobFunc) (*Job, error) 
 		e.coalesced.Add(1)
 	}
 	return j, err
+}
+
+// SubmitSweep expands a parameter grid server-side and schedules it as
+// one Batch: each cell's Spec is submitted at the given priority, cells
+// whose Specs share a content-address share one job (the grid is
+// deduplicated before it reaches the scheduler), cached cells are born
+// done, and the rest shard across the worker pool. The Batch reports
+// aggregate state, per-cell results in grid order, a merged event
+// stream, and batch-wide cancellation.
+func (e *Engine) SubmitSweep(sw Sweep, priority int) (*Batch, error) {
+	specs, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{
+		eng:   e,
+		specs: specs,
+		jobs:  make([]*Job, len(specs)),
+	}
+	byHash := make(map[string]*Job, len(specs))
+	for i, sp := range specs {
+		hash, err := sp.Hash()
+		if err != nil {
+			b.Cancel()
+			return nil, err
+		}
+		if j, ok := byHash[hash]; ok {
+			b.jobs[i] = j
+			continue
+		}
+		j, err := e.Submit(sp, priority)
+		if err != nil {
+			b.Cancel()
+			return nil, err
+		}
+		byHash[hash] = j
+		b.jobs[i] = j
+		b.unique = append(b.unique, j)
+	}
+	e.registerBatch(b)
+	return b, nil
+}
+
+// maxRetainedBatches bounds the batch history a long-running engine
+// keeps for status queries, mirroring the scheduler's job retention.
+const maxRetainedBatches = 512
+
+// registerBatch assigns the batch its ID and retains it for lookups,
+// evicting the oldest terminal batch (or the oldest outright) past the
+// retention bound.
+func (e *Engine) registerBatch(b *Batch) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	e.nextBatch++
+	b.ID = fmt.Sprintf("sweep-%d", e.nextBatch)
+	b.Created = time.Now()
+	e.batches[b.ID] = b
+	e.batchOrder = append(e.batchOrder, b.ID)
+	for len(e.batches) > maxRetainedBatches {
+		victim := ""
+		for _, id := range e.batchOrder {
+			if e.batches[id].Counts().Terminal() {
+				victim = id
+				break
+			}
+		}
+		if victim == "" {
+			victim = e.batchOrder[0]
+		}
+		delete(e.batches, victim)
+		for i, id := range e.batchOrder {
+			if id == victim {
+				e.batchOrder = append(e.batchOrder[:i], e.batchOrder[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Batch looks up a sweep batch by ID.
+func (e *Engine) Batch(id string) (*Batch, bool) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	b, ok := e.batches[id]
+	return b, ok
 }
 
 // Job looks up a job by ID.

@@ -28,8 +28,8 @@ const (
 	StateCancelled State = "cancelled"
 )
 
-// terminal reports whether a state is final.
-func (s State) terminal() bool {
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
@@ -144,16 +144,19 @@ func (j *Job) Wait(ctx context.Context) (*Result, error) {
 	}
 }
 
-// Subscribe returns a channel of the job's progress events. The channel
-// is closed when the job reaches a terminal state; a job already
-// terminal yields its final event and an immediately closed channel.
-// Slow consumers drop events rather than stall the run.
+// Subscribe returns a channel of the job's progress events. Every
+// subscription begins with a snapshot of the job's current state — so a
+// late (or reconnecting) subscriber resumes from the present rather
+// than joining blind — and the channel is closed when the job reaches a
+// terminal state; a job already terminal yields its final event and an
+// immediately closed channel. Slow consumers drop events rather than
+// stall the run.
 func (j *Job) Subscribe() <-chan Event {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ch := make(chan Event, 64)
-	if j.state.terminal() {
-		ch <- j.eventLocked()
+	ch <- j.eventLocked()
+	if j.state.Terminal() {
 		close(ch)
 		return ch
 	}
@@ -192,7 +195,7 @@ func (j *Job) progress(round, total int) {
 
 // finishLocked moves the job to a terminal state; j.mu must be held.
 func (j *Job) finishLocked(state State, res *Result, err error) {
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		return
 	}
 	j.state = state
@@ -234,6 +237,11 @@ func newScheduler(workers int) *Scheduler {
 	return s
 }
 
+// ErrClosed is returned by submissions after Close: the engine is
+// draining and will accept no more work. It is a transient service
+// condition, not a fault of the submitted Spec.
+var ErrClosed = errors.New("engine: scheduler closed")
+
 // submit enqueues work under a content-address. When a job with the same
 // address is already in flight, that job is returned with coalesced=true
 // and nothing is enqueued.
@@ -241,7 +249,7 @@ func (s *Scheduler) submit(spec *Spec, key string, priority int, run jobRunFunc)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, false, errors.New("engine: scheduler closed")
+		return nil, false, ErrClosed
 	}
 	if cur, ok := s.inflight[key]; ok {
 		// The coalesced submission still gets its urgency: raise the
@@ -304,7 +312,7 @@ func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int) *Job {
 		kept := s.order[:0]
 		excess := len(s.jobs) - maxRetainedJobs
 		for _, old := range s.order {
-			if excess > 0 && old.State().terminal() {
+			if excess > 0 && old.State().Terminal() {
 				delete(s.jobs, old.ID)
 				excess--
 				continue

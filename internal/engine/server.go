@@ -3,7 +3,9 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -14,13 +16,23 @@ import (
 //	GET    /healthz                 liveness probe
 //	GET    /v1/stats                engine counters
 //	POST   /v1/jobs                 submit a Spec ({"spec":…,"priority":n,"wait":bool})
-//	GET    /v1/jobs                 list jobs, newest first
+//	GET    /v1/jobs                 list jobs, newest first (?state=…&limit=…&after=…)
 //	GET    /v1/jobs/{id}            job status
 //	GET    /v1/jobs/{id}/result     job result (409 until terminal)
 //	GET    /v1/jobs/{id}/model      trained-model checkpoint blob (409
 //	                                until done, 404 when none was stored)
+//	GET    /v1/jobs/{id}/events     per-round progress as Server-Sent Events
 //	POST   /v1/jobs/{id}/cancel     cancel a job
 //	DELETE /v1/jobs/{id}            cancel a job
+//	POST   /v1/sweeps               submit a parameter grid ({"sweep":…,"priority":n,"wait":bool})
+//	GET    /v1/sweeps/{id}          sweep status: aggregate counts + per-job views
+//	GET    /v1/sweeps/{id}/events   merged progress of all sweep jobs as SSE
+//	POST   /v1/sweeps/{id}/cancel   cancel every solely-owned sweep job
+//	DELETE /v1/sweeps/{id}          cancel every solely-owned sweep job
+//
+// Errors are a structured envelope {"error":{"code","message"}} (codes
+// below); the flat text is mirrored at the top-level "message" field for
+// one release, for clients of the v1 string-only envelope.
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
@@ -36,13 +48,66 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/model", s.handleModel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Machine-readable error codes of the structured error envelope.
+const (
+	// ErrCodeBadRequest: malformed JSON, unknown field, bad query param.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeInvalidSpec: a spec or sweep that fails validation.
+	ErrCodeInvalidSpec = "invalid_spec"
+	// ErrCodePayloadTooLarge: request body over the size cap (HTTP 413).
+	ErrCodePayloadTooLarge = "payload_too_large"
+	// ErrCodeNotFound: unknown job or sweep ID.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeNotFinished: result/model requested before the job is
+	// terminal (HTTP 409) — retry after completion.
+	ErrCodeNotFinished = "not_finished"
+	// ErrCodeNoModel: the job finished but stored no model checkpoint.
+	ErrCodeNoModel = "no_model"
+	// ErrCodeClientGone: the client disconnected from a wait=true
+	// submission before the work finished (HTTP 408).
+	ErrCodeClientGone = "client_gone"
+	// ErrCodeInternal: unexpected server-side failure (HTTP 500).
+	ErrCodeInternal = "internal"
+	// ErrCodeUnavailable: the engine is draining (graceful shutdown)
+	// and accepts no new work (HTTP 503) — retry elsewhere or later.
+	ErrCodeUnavailable = "unavailable"
+	// ErrCodeStreamUnsupported: the connection cannot carry SSE.
+	ErrCodeStreamUnsupported = "stream_unsupported"
+)
+
+// APIError is the machine-readable error of the v2 envelope.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the error response body. Message mirrors
+// Error.Message at the top level: the v1 API reported errors as one
+// flat string, and the duplicate keeps text-only clients working for
+// one release.
+type errorEnvelope struct {
+	Err     APIError `json:"error"`
+	Message string   `json:"message"`
+}
+
+// maxBodyBytes caps submit bodies; a full sweep grid is a few KB, so
+// 1 MiB is generous while keeping a misbehaving client from buffering
+// arbitrary payloads into the server.
+const maxBodyBytes = 1 << 20
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
@@ -55,6 +120,19 @@ type SubmitRequest struct {
 	// engine default). It rides outside the spec object because it is
 	// an execution hint that never changes the result or the spec's
 	// content-address (see Spec.Parallelism).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
+	Sweep    Sweep `json:"sweep"`
+	Priority int   `json:"priority"`
+	// Wait blocks the request until every sweep job is terminal and
+	// inlines per-job results into the response.
+	Wait bool `json:"wait"`
+	// Parallelism bounds each sweep job's local-training worker pool
+	// (0 = engine default); like SubmitRequest.Parallelism it is an
+	// execution hint outside the content-address.
 	Parallelism int `json:"parallelism,omitempty"`
 }
 
@@ -75,6 +153,26 @@ type JobView struct {
 	// Result is inlined for terminal jobs on submit-with-wait and the
 	// result endpoint.
 	Result *Result `json:"result,omitempty"`
+}
+
+// SweepView is the wire representation of a sweep batch: aggregate
+// counts plus a view per distinct job.
+type SweepView struct {
+	ID      string      `json:"id"`
+	Created time.Time   `json:"created"`
+	Counts  BatchCounts `json:"counts"`
+	// Done reports whether every sweep job is terminal.
+	Done bool `json:"done"`
+	// Jobs views the batch's distinct jobs in first-appearance order.
+	Jobs []JobView `json:"jobs"`
+}
+
+// JobList is the GET /v1/jobs response page.
+type JobList struct {
+	Jobs []JobView `json:"jobs"`
+	// Next is the cursor for the following page (pass as ?after=…);
+	// empty when this page exhausts the listing.
+	Next string `json:"next,omitempty"`
 }
 
 // view snapshots a job for the wire.
@@ -111,18 +209,60 @@ func (s *Server) view(j *Job, withResult bool) JobView {
 	return v
 }
 
+// sweepView snapshots a batch for the wire.
+func (s *Server) sweepView(b *Batch, withResults bool) SweepView {
+	counts := b.Counts()
+	v := SweepView{
+		ID:      b.ID,
+		Created: b.Created,
+		Counts:  counts,
+		Done:    counts.Terminal(),
+		Jobs:    make([]JobView, 0, len(b.Unique())),
+	}
+	for _, j := range b.Unique() {
+		v.Jobs = append(v.Jobs, s.view(j, withResults))
+	}
+	return v
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-type apiError struct {
-	Error string `json:"error"`
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Err: APIError{Code: code, Message: msg}, Message: msg})
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, apiError{Error: msg})
+// decodeBody reads a JSON request body with the size cap and strict
+// field checking, writing the error response itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, ErrCodePayloadTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeSubmitError maps a Submit/SubmitSweep failure to the wire. A
+// draining engine is a transient 503, not the caller's fault; anything
+// else is a spec or sweep the engine rejected.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrClosed) {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec, err.Error())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -135,19 +275,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	req.Spec.Parallelism = req.Parallelism
 	j, err := s.engine.Submit(req.Spec, req.Priority)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeSubmitError(w, err)
 		return
 	}
 	if req.Wait {
 		if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
-			writeError(w, http.StatusRequestTimeout, "client went away before the job finished")
+			writeError(w, http.StatusRequestTimeout, ErrCodeClientGone, "client went away before the job finished")
 			return
 		}
 		writeJSON(w, http.StatusOK, s.view(j, true))
@@ -156,23 +295,104 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.view(j, false))
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	jobs := s.engine.Jobs()
-	views := make([]JobView, 0, len(jobs))
-	for _, j := range jobs {
-		views = append(views, s.view(j, false))
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	req.Sweep.Base.Parallelism = req.Parallelism
+	b, err := s.engine.SubmitSweep(req.Sweep, req.Priority)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	if req.Wait {
+		if _, err := b.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+			writeError(w, http.StatusRequestTimeout, ErrCodeClientGone, "client went away before the sweep finished")
+			return
+		}
+		writeJSON(w, http.StatusOK, s.sweepView(b, true))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.sweepView(b, false))
+}
+
+// handleList pages through the job registry, newest first. ?state=
+// filters by lifecycle state, ?limit= caps the page size, and ?after=
+// resumes below a previous page's last job ID (the JobList.Next
+// cursor). The cursor survives job-history eviction: IDs are ordinal,
+// so "after job-17" simply means "jobs older than the 17th".
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var stateFilter State
+	if v := q.Get("state"); v != "" {
+		switch st := State(v); st {
+		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+			stateFilter = st
+		default:
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Sprintf("unknown state %q (want queued|running|done|failed|cancelled)", v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	afterSeq := int64(-1)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseInt(strings.TrimPrefix(v, "job-"), 10, 64)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "after must be a job ID (job-N)")
+			return
+		}
+		afterSeq = n
+	}
+	jobs := s.engine.Jobs() // newest first
+	list := JobList{Jobs: []JobView{}}
+	for _, j := range jobs {
+		if afterSeq >= 0 {
+			n, err := strconv.ParseInt(strings.TrimPrefix(j.ID, "job-"), 10, 64)
+			if err != nil || n >= afterSeq {
+				continue
+			}
+		}
+		if stateFilter != "" && j.State() != stateFilter {
+			continue
+		}
+		if limit > 0 && len(list.Jobs) == limit {
+			// One past the page: there is more, so hand out a cursor.
+			list.Next = list.Jobs[len(list.Jobs)-1].ID
+			break
+		}
+		list.Jobs = append(list.Jobs, s.view(j, false))
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := strings.TrimSpace(r.PathValue("id"))
 	j, ok := s.engine.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job "+id)
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown job "+id)
 		return nil, false
 	}
 	return j, true
+}
+
+func (s *Server) batchFromPath(w http.ResponseWriter, r *http.Request) (*Batch, bool) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	b, ok := s.engine.Batch(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "unknown sweep "+id)
+		return nil, false
+	}
+	return b, true
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +401,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(j, false))
+}
+
+// handleSweepStatus reports a sweep's aggregate counts and per-job
+// views. Results are inlined only once the sweep is terminal: pollers
+// watching a large running sweep read light views, not megabytes of
+// round histories on every request.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batchFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sweepView(b, b.Counts().Terminal()))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +426,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateFailed, StateCancelled:
 		writeJSON(w, http.StatusOK, s.view(j, false))
 	default:
-		writeError(w, http.StatusConflict, "job "+j.ID+" not finished (state "+string(j.State())+")")
+		writeError(w, http.StatusConflict, ErrCodeNotFinished,
+			"job "+j.ID+" not finished (state "+string(j.State())+")")
 	}
 }
 
@@ -211,19 +444,21 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	switch st := j.State(); st {
 	case StateDone:
 	case StateFailed, StateCancelled:
-		writeError(w, http.StatusNotFound, "no model checkpoint for job "+j.ID+" (state "+string(st)+")")
+		writeError(w, http.StatusNotFound, ErrCodeNoModel,
+			"no model checkpoint for job "+j.ID+" (state "+string(st)+")")
 		return
 	default:
-		writeError(w, http.StatusConflict, "job "+j.ID+" not finished (state "+string(st)+")")
+		writeError(w, http.StatusConflict, ErrCodeNotFinished,
+			"job "+j.ID+" not finished (state "+string(st)+")")
 		return
 	}
 	blob, ok, err := s.engine.ModelBlob(j.Key)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, "no model checkpoint for job "+j.ID)
+		writeError(w, http.StatusNotFound, ErrCodeNoModel, "no model checkpoint for job "+j.ID)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -237,8 +472,81 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.engine.Cancel(j.ID); err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, s.view(j, false))
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batchFromPath(w, r)
+	if !ok {
+		return
+	}
+	b.Cancel()
+	writeJSON(w, http.StatusOK, s.sweepView(b, false))
+}
+
+// handleJobEvents bridges Job.Subscribe to the wire as Server-Sent
+// Events: one frame per progress event, `event:` naming the job state,
+// `data:` carrying the JSON Event, and a final `event: end` frame
+// before the stream closes on terminal state. The subscription opens
+// with a snapshot of the current state, so a reconnecting client
+// resumes from the present — Last-Event-ID is accepted and ignored,
+// because events are snapshots, not a replayable log.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.streamEvents(w, r, j.Subscribe())
+}
+
+// handleSweepEvents streams the batch's merged event stream (every
+// event of every distinct sweep job) as SSE, ending once all jobs are
+// terminal.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.batchFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.streamEvents(w, r, b.Events(r.Context()))
+}
+
+// streamEvents writes a channel of Events to the response as SSE until
+// the channel closes (then an `event: end` frame terminates the stream
+// cleanly) or the client disconnects.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, events <-chan Event) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, ErrCodeStreamUnsupported,
+			"response writer does not support streaming")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	id := 0
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				fmt.Fprint(w, "event: end\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			id++
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.State, data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

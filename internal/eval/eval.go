@@ -201,34 +201,60 @@ func flSpec(datasetName string, genSeed uint64, split dataset.Split, lambda floa
 	}
 }
 
-// submitAll submits every spec to the engine and waits for all results,
-// returned in spec order so accumulation stays deterministic regardless
-// of scheduling.
-func submitAll(eng *engine.Engine, specs []engine.Spec) ([]*engine.Result, error) {
-	jobs := make([]*engine.Job, len(specs))
-	for i, sp := range specs {
-		j, err := eng.Submit(sp, 0)
-		if err != nil {
-			return nil, fmt.Errorf("eval: submit %s on %s/%s: %w", sp.Method, sp.Dataset, sp.Split.Name, err)
-		}
-		jobs[i] = j
+// sweepResults submits a parameter grid as one engine Batch and waits
+// for every cell's result, returned in grid order so accumulation stays
+// deterministic regardless of scheduling. On failure the batch cancels
+// its remaining solely-owned jobs (jobs coalesced with another sweep
+// are left alone — cancelling them would fail a run that may be
+// healthy).
+func sweepResults(eng *engine.Engine, sw engine.Sweep) ([]*engine.Result, error) {
+	all, err := sweepAllResults(eng, []engine.Sweep{sw})
+	if err != nil {
+		return nil, err
 	}
-	out := make([]*engine.Result, len(jobs))
-	for i, j := range jobs {
-		r, err := j.Wait(context.Background())
+	return all[0], nil
+}
+
+// sweepAllResults schedules several sweeps at once — so a multi-level
+// runner (one sweep per λ or per population size) keeps the whole
+// worker pool busy instead of draining it at every level boundary —
+// then waits for them in order, returning per-sweep results in grid
+// order. The first failure cancels the solely-owned jobs of every
+// batch.
+func sweepAllResults(eng *engine.Engine, sws []engine.Sweep) ([][]*engine.Result, error) {
+	batches := make([]*engine.Batch, len(sws))
+	for i, sw := range sws {
+		b, err := eng.SubmitSweep(sw, 0)
 		if err != nil {
-			// Best-effort: don't leave the rest of the sweep training
-			// after the run is already lost. Jobs shared with another
-			// sweep (coalesced submissions) are left alone — cancelling
-			// them would fail a run that may be healthy.
-			for _, other := range jobs {
-				if other.Submissions() == 1 {
-					_ = eng.Cancel(other.ID)
-				}
+			for _, prev := range batches[:i] {
+				prev.Cancel()
 			}
-			return nil, fmt.Errorf("eval: %s on %s/%s: %w", specs[i].Method, specs[i].Dataset, specs[i].Split.Name, err)
+			return nil, fmt.Errorf("eval: %w", err)
 		}
-		out[i] = r
+		batches[i] = b
+	}
+	out := make([][]*engine.Result, len(batches))
+	for i, b := range batches {
+		results, err := b.Wait(context.Background())
+		if err != nil {
+			for _, other := range batches {
+				other.Cancel()
+			}
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		out[i] = results
 	}
 	return out, nil
+}
+
+// seedAxis builds a sweep's seed axis: each run seed paired with the
+// corpus-generator seed the runners derive from it, so every seed of
+// the average trains on a freshly generated corpus, not a re-partition
+// of the same one.
+func seedAxis(seeds []uint64, genSeed func(seed uint64) uint64) []engine.SeedSpec {
+	out := make([]engine.SeedSpec, len(seeds))
+	for i, s := range seeds {
+		out[i] = engine.SeedSpec{Seed: s, GenSeed: genSeed(s)}
+	}
+	return out
 }

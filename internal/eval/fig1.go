@@ -56,21 +56,20 @@ func RunLandscape(cfg Config, outDir string) (*LandscapeResult, error) {
 	split := dataset.Split{Name: "fig1", Train: []int{0, 1}, Test: []int{3}}
 	eng := cfg.engine()
 
-	// Both training runs go through the engine with KeepModel so the
-	// trained global models come back with the (cacheable) results; the
-	// landscape probes below need the scenario itself, which the engine
-	// shares from its scenario cache.
-	specs := make([]engine.Spec, 0, 2)
-	for _, method := range []string{"FedAvg", "PARDON"} {
-		sp := flSpec(spec.Name, spec.Gen.Seed, split, 0.0, sz, method, cfg.Seed, 0, "fig1")
-		sp.KeepModel = true
-		specs = append(specs, sp)
-	}
-	results, err := submitAll(eng, specs)
+	// Both training runs go through the engine as one method-axis sweep
+	// with KeepModel, so the trained global models come back with the
+	// (cacheable) results; the landscape probes below need the scenario
+	// itself, which the engine shares from its scenario cache.
+	base := flSpec(spec.Name, spec.Gen.Seed, split, 0.0, sz, "", cfg.Seed, 0, "fig1")
+	base.KeepModel = true
+	sw := engine.Sweep{Base: base, Methods: []string{"FedAvg", "PARDON"}}
+	results, err := sweepResults(eng, sw)
 	if err != nil {
 		return nil, err
 	}
-	sc, err := eng.BuildScenario(specs[0])
+	scenarioSpec := base
+	scenarioSpec.Method = "FedAvg"
+	sc, err := eng.BuildScenario(scenarioSpec)
 	if err != nil {
 		return nil, err
 	}

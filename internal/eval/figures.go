@@ -53,21 +53,25 @@ func RunConvergence(cfg Config) (*ConvergenceResult, error) {
 		evalEvery = 2
 	}
 	seeds := cfg.seeds()
-	var specs []engine.Spec
+	// One (seed × method) sweep per λ — the scenario tag embeds λ, so a
+	// λ axis inside one sweep would change each cell's randomness
+	// stream. All λ levels are submitted before any is awaited, so the
+	// full grid still shards across the worker pool at once.
+	sws := make([]engine.Sweep, 0, len(res.Lambdas))
 	for _, lambda := range res.Lambdas {
-		for _, seed := range seeds {
-			genSeed := spec.Gen.Seed*7919 + seed
-			for _, m := range methods {
-				specs = append(specs, flSpec(spec.Name, genSeed, split, lambda, spec.Sizing, m, seed, evalEvery, fmt.Sprintf("fig3-%.1f", lambda)))
-			}
-		}
+		sws = append(sws, engine.Sweep{
+			Base:    flSpec(spec.Name, 0, split, lambda, spec.Sizing, "", 0, evalEvery, fmt.Sprintf("fig3-%.1f", lambda)),
+			Methods: methods,
+			Seeds:   seedAxis(seeds, func(s uint64) uint64 { return spec.Gen.Seed*7919 + s }),
+		})
 	}
-	results, err := submitAll(cfg.engine(), specs)
+	all, err := sweepAllResults(cfg.engine(), sws)
 	if err != nil {
 		return nil, err
 	}
-	ri := 0
-	for range res.Lambdas {
+	for li := range res.Lambdas {
+		results := all[li]
+		ri := 0
 		accs := map[string][]float64{}
 		for range seeds {
 			for _, m := range methods {
@@ -215,28 +219,32 @@ func RunClientScaling(cfg Config) (*ClientScalingResult, error) {
 		sz.PerDomain = (minTotal + len(split.Train) - 1) / len(split.Train)
 	}
 	seeds := cfg.seeds()
-	var specs []engine.Spec
+	// One (seed × method) sweep per population size N — the scenario tag
+	// embeds N, so N cannot ride the sweep's Clients axis without
+	// changing each cell's randomness stream. All N levels are submitted
+	// before any is awaited, so the full grid still shards across the
+	// worker pool at once.
+	sws := make([]engine.Sweep, 0, len(res.Ns))
 	for _, n := range res.Ns {
 		szN := sz
 		szN.NumClients = n
 		szN.SampleK = res.K
-		for _, seed := range seeds {
-			genSeed := spec.Gen.Seed*7919 + seed
-			for _, m := range methods {
-				specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, szN, m, seed, 0, fmt.Sprintf("fig5-%d", n)))
-			}
-		}
+		sws = append(sws, engine.Sweep{
+			Base:    flSpec(spec.Name, 0, split, DefaultLambda, szN, "", 0, 0, fmt.Sprintf("fig5-%d", n)),
+			Methods: methods,
+			Seeds:   seedAxis(seeds, func(s uint64) uint64 { return spec.Gen.Seed*7919 + s }),
+		})
 	}
-	results, err := submitAll(cfg.engine(), specs)
+	all, err := sweepAllResults(cfg.engine(), sws)
 	if err != nil {
 		return nil, err
 	}
-	i := 0
 	for ni := range res.Ns {
+		i := 0
 		for range seeds {
 			for _, m := range methods {
-				res.Val[m][ni] += results[i].Final().ValAcc / float64(len(seeds))
-				res.Test[m][ni] += results[i].Final().TestAcc / float64(len(seeds))
+				res.Val[m][ni] += all[ni][i].Final().ValAcc / float64(len(seeds))
+				res.Test[m][ni] += all[ni][i].Final().TestAcc / float64(len(seeds))
 				i++
 			}
 		}

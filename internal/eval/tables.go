@@ -95,9 +95,10 @@ func (r *SplitTableResult) AvgVal(method string) float64 {
 }
 
 // runSplitScheme evaluates all methods on one scheme of one corpus,
-// averaging over cfg seeds. All (seed × method) runs are submitted to
-// the engine up front so they shard across its worker pool; results are
-// accumulated in submission order for determinism.
+// averaging over cfg seeds. The (seed × method) grid is one engine
+// sweep, expanded and deduplicated server-side and sharded across the
+// worker pool; results come back in grid order (seeds outer, methods
+// inner) so accumulation stays deterministic.
 func runSplitScheme(cfg Config, spec corpusSpec, split dataset.Split, methods []string, tag string) (SchemeResult, error) {
 	res := SchemeResult{
 		Scheme:  split,
@@ -105,12 +106,10 @@ func runSplitScheme(cfg Config, spec corpusSpec, split dataset.Split, methods []
 		TestAcc: map[string]float64{},
 	}
 	seeds := cfg.seeds()
-	var specs []engine.Spec
-	for _, seed := range seeds {
-		genSeed := spec.Gen.Seed*7919 + seed
-		for _, m := range methods {
-			specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, spec.Sizing, m, seed, 0, tag))
-		}
+	sw := engine.Sweep{
+		Base:    flSpec(spec.Name, 0, split, DefaultLambda, spec.Sizing, "", 0, 0, tag),
+		Methods: methods,
+		Seeds:   seedAxis(seeds, func(s uint64) uint64 { return spec.Gen.Seed*7919 + s }),
 	}
 	// Domain names come from a bare generator; sample generation happens
 	// inside the engine's scenario builder.
@@ -120,7 +119,7 @@ func runSplitScheme(cfg Config, spec corpusSpec, split dataset.Split, methods []
 	}
 	res.ValName = gen.DomainName(split.Val[0])
 	res.Test = gen.DomainName(split.Test[0])
-	results, err := submitAll(cfg.engine(), specs)
+	results, err := sweepResults(cfg.engine(), sw)
 	if err != nil {
 		return res, err
 	}
@@ -238,29 +237,33 @@ func RunIWildCam(cfg Config) (*IWildCamResult, error) {
 	train, val, test := synth.IWildCamSplit(sz.NumDomains)
 	split := dataset.Split{Name: "iwildcam", Train: train, Val: val, Test: test}
 	seeds := cfg.seeds()
-	var specs []engine.Spec
+	// One (seed × method) sweep per λ: the scenario tag embeds the λ
+	// level, so folding λ into a single sweep axis would change every
+	// cell's randomness stream and with it the published numbers. All
+	// λ levels are submitted before any is awaited, so the full grid
+	// still shards across the worker pool at once.
+	sws := make([]engine.Sweep, 0, len(res.Lambdas))
 	for _, lambda := range res.Lambdas {
-		for _, seed := range seeds {
-			genSeed := (cfg.Seed+31)*7919 + seed
-			for _, m := range methods {
-				sp := flSpec("IWildCam", genSeed, split, lambda, sz.flSizing, m, seed, 0, fmt.Sprintf("iwild-%.1f", lambda))
-				sp.NumDomains = sz.NumDomains
-				sp.NumClasses = sz.NumClasses
-				sp.ClassesPerDomain = sz.ClassesPerDomain
-				specs = append(specs, sp)
-			}
-		}
+		base := flSpec("IWildCam", 0, split, lambda, sz.flSizing, "", 0, 0, fmt.Sprintf("iwild-%.1f", lambda))
+		base.NumDomains = sz.NumDomains
+		base.NumClasses = sz.NumClasses
+		base.ClassesPerDomain = sz.ClassesPerDomain
+		sws = append(sws, engine.Sweep{
+			Base:    base,
+			Methods: methods,
+			Seeds:   seedAxis(seeds, func(s uint64) uint64 { return (cfg.Seed+31)*7919 + s }),
+		})
 	}
-	results, err := submitAll(cfg.engine(), specs)
+	all, err := sweepAllResults(cfg.engine(), sws)
 	if err != nil {
 		return nil, err
 	}
-	i := 0
 	for li := range res.Lambdas {
+		i := 0
 		for range seeds {
 			for _, m := range methods {
-				res.Val[m][li] += results[i].Final().ValAcc / float64(len(seeds))
-				res.Test[m][li] += results[i].Final().TestAcc / float64(len(seeds))
+				res.Val[m][li] += all[li][i].Final().ValAcc / float64(len(seeds))
+				res.Test[m][li] += all[li][i].Final().TestAcc / float64(len(seeds))
 				i++
 			}
 		}
@@ -308,14 +311,16 @@ func RunAblation(cfg Config) (*AblationResult, error) {
 		Test:     map[string]float64{},
 	}
 	seeds := cfg.seeds()
-	var specs []engine.Spec
-	for _, seed := range seeds {
-		genSeed := spec.Gen.Seed*7919 + seed
-		for _, v := range res.Variants {
-			specs = append(specs, flSpec(spec.Name, genSeed, split, DefaultLambda, spec.Sizing, "PARDON-"+v, seed, 0, "ablation"))
-		}
+	variants := make([]string, len(res.Variants))
+	for i, v := range res.Variants {
+		variants[i] = "PARDON-" + v
 	}
-	results, err := submitAll(cfg.engine(), specs)
+	sw := engine.Sweep{
+		Base:    flSpec(spec.Name, 0, split, DefaultLambda, spec.Sizing, "", 0, 0, "ablation"),
+		Methods: variants,
+		Seeds:   seedAxis(seeds, func(s uint64) uint64 { return spec.Gen.Seed*7919 + s }),
+	}
+	results, err := sweepResults(cfg.engine(), sw)
 	if err != nil {
 		return nil, err
 	}
