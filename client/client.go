@@ -63,6 +63,10 @@ type (
 	Stats = engine.Stats
 	// JobView is the wire representation of a job.
 	JobView = engine.JobView
+	// JobTiming is a job's phase wall-clock breakdown (queue/run/persist).
+	JobTiming = engine.JobTiming
+	// HealthView is the GET /v1/healthz body: serving state + build info.
+	HealthView = engine.HealthView
 	// SweepView is the wire representation of a sweep batch.
 	SweepView = engine.SweepView
 	// BatchCounts is the aggregate state of a sweep batch.
@@ -179,6 +183,12 @@ func New(baseURL string, opts ...Option) *Client {
 // do performs one JSON round-trip; non-2xx responses come back as
 // *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.doTraced(ctx, method, path, "", body, out)
+}
+
+// doTraced is do with an X-Request-ID attached, so the server adopts
+// the caller's trace ID instead of minting one.
+func (c *Client) doTraced(ctx context.Context, method, path, trace string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -193,6 +203,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != "" {
+		req.Header.Set("X-Request-ID", trace)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -216,6 +229,14 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
+// Healthz fetches the server's health detail: serving/draining state
+// plus the build identity of the running binary.
+func (c *Client) Healthz(ctx context.Context) (HealthView, error) {
+	var v HealthView
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &v)
+	return v, err
+}
+
 // Stats fetches the engine counters.
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
@@ -233,6 +254,12 @@ type SubmitOptions struct {
 	// Parallelism bounds each job's local-training worker pool (0 =
 	// server default); an execution hint that never changes results.
 	Parallelism int
+	// TraceID, when non-empty, is sent as X-Request-ID so the server
+	// adopts it as the job's (or sweep's) trace — the submission then
+	// correlates with the caller's own logs. Invalid IDs (empty, over
+	// 100 chars, or outside [a-zA-Z0-9._-]) are replaced by a minted
+	// one; the winning ID is in the returned view's TraceID.
+	TraceID string
 }
 
 // Submit schedules one Spec. The returned view carries the job ID; with
@@ -240,7 +267,7 @@ type SubmitOptions struct {
 func (c *Client) Submit(ctx context.Context, spec Spec, opts SubmitOptions) (JobView, error) {
 	req := engine.SubmitRequest{Spec: spec, Priority: opts.Priority, Wait: opts.Wait, Parallelism: opts.Parallelism}
 	var view JobView
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &view)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/jobs", opts.TraceID, req, &view)
 	return view, err
 }
 
@@ -251,7 +278,7 @@ func (c *Client) Submit(ctx context.Context, spec Spec, opts SubmitOptions) (Job
 func (c *Client) SubmitSweep(ctx context.Context, sw Sweep, opts SubmitOptions) (SweepView, error) {
 	req := engine.SweepRequest{Sweep: sw, Priority: opts.Priority, Wait: opts.Wait, Parallelism: opts.Parallelism}
 	var view SweepView
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &view)
+	err := c.doTraced(ctx, http.MethodPost, "/v1/sweeps", opts.TraceID, req, &view)
 	return view, err
 }
 

@@ -7,7 +7,9 @@
 //	feddg -exp table1 [-scale small|paper] [-seed N] [-seeds K] [-out DIR]
 //	       [-cache DIR] [-cache-max-bytes N] [-workers N] [-save-model DIR]
 //	feddg -exp all -scale small
-//	feddg serve  [-addr :8080] [-cache DIR] [-cache-max-bytes N] [-workers N]
+//	feddg -version
+//	feddg serve  [-addr :8080] [-metrics-addr ADDR] [-log-level LEVEL]
+//	       [-cache DIR] [-cache-max-bytes N] [-workers N]
 //	feddg submit -spec FILE|- [-server URL] [-wait] [-priority N] [-parallelism N]
 //	feddg sweep  -sweep FILE|- [-server URL] [-wait] [-watch] [-priority N] [-parallelism N]
 //	feddg watch  ID [-server URL]
@@ -20,7 +22,10 @@
 //
 // `feddg serve` exposes the v2 experiment API (jobs, sweeps, SSE event
 // streams, model checkpoints) over HTTP/JSON and shuts down gracefully
-// on SIGINT/SIGTERM. `feddg submit`, `feddg sweep`, and `feddg watch`
+// on SIGINT/SIGTERM. With -metrics-addr it additionally serves the
+// operational endpoints (Prometheus /metrics, /debug/pprof/*,
+// /v1/healthz) on a second listener that operators can keep off the
+// public network. `feddg submit`, `feddg sweep`, and `feddg watch`
 // are thin wrappers over the typed client package speaking to a remote
 // server: submit one Spec, submit a parameter grid, or follow live
 // per-round progress of a job (job-N) or sweep (sweep-N). See README.md
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +54,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/attack"
 	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +67,9 @@ func main() {
 func run() error {
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
+		case "version", "-version", "--version":
+			fmt.Println(telemetry.Build())
+			return nil
 		case "serve":
 			return serve(os.Args[2:])
 		case "submit":
@@ -165,6 +175,8 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("feddg serve", flag.ContinueOnError)
 	var (
 		addrFlag     = fs.String("addr", ":8080", "listen address")
+		metricsFlag  = fs.String("metrics-addr", "", "ops listen address for /metrics, /debug/pprof/* and /v1/healthz (empty = disabled)")
+		logLevelFlag = fs.String("log-level", "info", "structured-log threshold: debug|info|warn|error")
 		cacheFlag    = fs.String("cache", "feddg-cache", "result-cache directory (empty = in-memory only)")
 		cacheMaxFlag = fs.Int64("cache-max-bytes", 0, "disk-cache size cap in bytes, LRU-by-mtime eviction (0 = unbounded)")
 		workersFlag  = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
@@ -176,6 +188,13 @@ func serve(args []string) error {
 	if *cacheMaxFlag > 0 && *cacheFlag == "" {
 		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevelFlag)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", *logLevelFlag, err)
+	}
+	// The engine logs through slog.Default(); a text handler at the
+	// chosen threshold makes every line grep-able by trace ID.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag})
 	if err != nil {
 		return err
@@ -199,7 +218,24 @@ func serve(args []string) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("feddg serve: listening on %s, cache %s", *addrFlag, cache)
+	log.Printf("feddg serve: %s listening on %s, cache %s", telemetry.Build(), *addrFlag, cache)
+
+	// The ops listener is separate so metrics and profiles can stay on a
+	// loopback or cluster-internal address while the API faces clients.
+	var ops *http.Server
+	if *metricsFlag != "" {
+		ops = &http.Server{
+			Addr:        *metricsFlag,
+			Handler:     engine.NewOpsMux(eng),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("feddg serve: ops listener: %v", err)
+			}
+		}()
+		log.Printf("feddg serve: ops endpoints (metrics, pprof, healthz) on %s", *metricsFlag)
+	}
 
 	select {
 	case err := <-errCh:
@@ -213,6 +249,10 @@ func serve(args []string) error {
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Printf("feddg serve: graceful shutdown incomplete: %v", err)
 		_ = srv.Close()
+	}
+	if ops != nil {
+		// A scrape that outlives the API drain is not worth waiting on.
+		_ = ops.Close()
 	}
 	// The deferred eng.Close() cancels pending and running jobs and
 	// drains the worker pool before the process exits.
@@ -367,7 +407,10 @@ func watchCmd(args []string) error {
 	return watchEvents(context.Background(), client.New(*server), fs.Arg(0))
 }
 
-// watchEvents streams an ID's events to stdout, one line per event.
+// watchEvents streams an ID's events to stdout, one line per event,
+// with a live training rate derived from successive round events of the
+// same job. Each line ends with the event's trace ID so a watcher can
+// jump straight from terminal output to the server log.
 func watchEvents(ctx context.Context, c *client.Client, id string) error {
 	var stream *client.EventStream
 	var err error
@@ -380,6 +423,11 @@ func watchEvents(ctx context.Context, c *client.Client, id string) error {
 		return err
 	}
 	defer stream.Close()
+	type progress struct {
+		round int
+		at    time.Time
+	}
+	last := map[string]progress{}
 	for {
 		ev, err := stream.Next()
 		if err == io.EOF {
@@ -388,10 +436,21 @@ func watchEvents(ctx context.Context, c *client.Client, id string) error {
 		if err != nil {
 			return err
 		}
+		trace := ""
+		if ev.Trace != "" {
+			trace = "  [" + ev.Trace + "]"
+		}
 		if ev.Rounds > 0 {
-			fmt.Printf("%s  %-9s  round %d/%d\n", ev.JobID, ev.State, ev.Round, ev.Rounds)
+			rate := ""
+			if prev, ok := last[ev.JobID]; ok && ev.Round > prev.round {
+				if dt := ev.Time.Sub(prev.at).Seconds(); dt > 0 {
+					rate = fmt.Sprintf("  %.1f rounds/s", float64(ev.Round-prev.round)/dt)
+				}
+			}
+			last[ev.JobID] = progress{round: ev.Round, at: ev.Time}
+			fmt.Printf("%s  %-9s  round %d/%d%s%s\n", ev.JobID, ev.State, ev.Round, ev.Rounds, rate, trace)
 		} else {
-			fmt.Printf("%s  %-9s\n", ev.JobID, ev.State)
+			fmt.Printf("%s  %-9s%s\n", ev.JobID, ev.State, trace)
 		}
 		if ev.Err != "" {
 			fmt.Printf("%s  error: %s\n", ev.JobID, ev.Err)

@@ -23,6 +23,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/baselines"
 	"github.com/pardon-feddg/pardon/internal/core"
 	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // MethodNames lists the six compared methods in the paper's table order.
@@ -87,6 +89,14 @@ type Options struct {
 	Parallelism int
 	// ScenarioCap bounds the resident built-scenario cache (0 = 4).
 	ScenarioCap int
+	// Metrics receives the engine's instruments; nil exports on the
+	// process-wide telemetry.Default() registry. Tests pass fresh
+	// registries so concurrent engines cannot share counters.
+	Metrics *telemetry.Registry
+	// Logger receives the engine's structured log lines (job lifecycle,
+	// cache anomalies — every line tagged with the job's trace ID); nil
+	// uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Stats is a snapshot of engine counters.
@@ -116,6 +126,8 @@ type Engine struct {
 	sched       *Scheduler
 	scenarios   *scenarioCache
 	parallelism int
+	metrics     *engineMetrics
+	log         *slog.Logger
 
 	submitted atomic.Int64
 	cacheHits atomic.Int64
@@ -130,7 +142,15 @@ type Engine struct {
 
 // New opens an Engine.
 func New(opts Options) (*Engine, error) {
-	store, err := NewStore(opts.CacheDir)
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	store, err := newStoreWith(opts.CacheDir, reg, logger)
 	if err != nil {
 		return nil, err
 	}
@@ -151,17 +171,33 @@ func New(opts Options) (*Engine, error) {
 		// per job.
 		par = (runtime.NumCPU() + workers - 1) / workers
 	}
+	m := newEngineMetrics(reg)
 	return &Engine{
 		store:       store,
-		sched:       newScheduler(workers),
+		sched:       newScheduler(workers, m, logger),
 		scenarios:   newScenarioCache(opts.ScenarioCap),
 		parallelism: par,
+		metrics:     m,
+		log:         logger,
 		batches:     map[string]*Batch{},
 	}, nil
 }
 
 // Close cancels all pending and running jobs and drains the worker pool.
 func (e *Engine) Close() { e.sched.close() }
+
+// Draining reports whether the engine has begun shutting down and
+// rejects new submissions (GET /v1/healthz surfaces this as the
+// "draining" state).
+func (e *Engine) Draining() bool {
+	e.sched.mu.Lock()
+	defer e.sched.mu.Unlock()
+	return e.sched.closed
+}
+
+// Metrics exposes the registry the engine's instruments export on; the
+// HTTP layers (API server middleware, the ops mux's /metrics) share it.
+func (e *Engine) Metrics() *telemetry.Registry { return e.metrics.reg }
 
 // Store exposes the engine's result store.
 func (e *Engine) Store() *Store { return e.store }
@@ -188,7 +224,15 @@ func (e *Engine) Stats() Stats {
 // one exists, and otherwise enqueues at the given priority (higher runs
 // first).
 func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
-	return e.submit(spec, priority, false)
+	return e.submit(spec, priority, "", false)
+}
+
+// SubmitTraced is Submit with a caller-supplied trace ID (the HTTP
+// layer's X-Request-ID). An empty or invalid ID mints a fresh one; a
+// submission that coalesces onto an in-flight job observes that job's
+// original trace.
+func (e *Engine) SubmitTraced(spec Spec, priority int, traceID string) (*Job, error) {
+	return e.submit(spec, priority, traceID, false)
 }
 
 // SubmitFresh is Submit minus the cache lookup: the run always executes
@@ -196,10 +240,10 @@ func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
 // consumer needs this machine's live measurement — e.g. the Fig. 4
 // wall-clock breakdown, which a cached result would report stale.
 func (e *Engine) SubmitFresh(spec Spec, priority int) (*Job, error) {
-	return e.submit(spec, priority, true)
+	return e.submit(spec, priority, "", true)
 }
 
-func (e *Engine) submit(spec Spec, priority int, fresh bool) (*Job, error) {
+func (e *Engine) submit(spec Spec, priority int, trace string, fresh bool) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,27 +252,32 @@ func (e *Engine) submit(spec Spec, priority int, fresh bool) (*Job, error) {
 		return nil, err
 	}
 	e.submitted.Add(1)
+	e.metrics.jobsSubmitted.Inc()
 	sp := spec
 	if !fresh {
 		if res, ok, err := e.store.Get(hash); err != nil {
 			return nil, err
 		} else if ok {
 			e.cacheHits.Add(1)
-			return e.sched.completed(&sp, hash, priority, res), nil
+			e.metrics.cacheHits.Inc()
+			return e.sched.completed(&sp, hash, priority, trace, res), nil
 		}
 	}
-	j, coalesced, err := e.sched.submit(&sp, hash, priority, func(ctx context.Context, j *Job) (*Result, error) {
+	j, coalesced, err := e.sched.submit(&sp, hash, priority, trace, func(ctx context.Context, j *Job) (*Result, error) {
 		res, err := e.runSpec(ctx, j, sp, hash)
 		if err != nil {
 			return nil, err
 		}
+		persistStart := time.Now()
 		if err := e.store.Put(hash, res); err != nil {
 			return nil, err
 		}
+		j.addPersist(time.Since(persistStart))
 		return res, nil
 	})
 	if coalesced {
 		e.coalesced.Add(1)
+		e.metrics.jobsCoalesced.Inc()
 	}
 	return j, err
 }
@@ -246,24 +295,29 @@ func (e *Engine) SubmitFunc(key string, priority int, fn JobFunc) (*Job, error) 
 		return nil, fmt.Errorf("engine: SubmitFunc needs a content-address key")
 	}
 	e.submitted.Add(1)
+	e.metrics.jobsSubmitted.Inc()
 	if res, ok, err := e.store.Get(key); err != nil {
 		return nil, err
 	} else if ok {
 		e.cacheHits.Add(1)
-		return e.sched.completed(nil, key, priority, res), nil
+		e.metrics.cacheHits.Inc()
+		return e.sched.completed(nil, key, priority, "", res), nil
 	}
-	j, coalesced, err := e.sched.submit(nil, key, priority, func(ctx context.Context, j *Job) (*Result, error) {
+	j, coalesced, err := e.sched.submit(nil, key, priority, "", func(ctx context.Context, j *Job) (*Result, error) {
 		res, err := fn(ctx)
 		if err != nil {
 			return nil, err
 		}
+		persistStart := time.Now()
 		if err := e.store.Put(key, res); err != nil {
 			return nil, err
 		}
+		j.addPersist(time.Since(persistStart))
 		return res, nil
 	})
 	if coalesced {
 		e.coalesced.Add(1)
+		e.metrics.jobsCoalesced.Inc()
 	}
 	return j, err
 }
@@ -276,14 +330,24 @@ func (e *Engine) SubmitFunc(key string, priority int, fn JobFunc) (*Job, error) 
 // aggregate state, per-cell results in grid order, a merged event
 // stream, and batch-wide cancellation.
 func (e *Engine) SubmitSweep(sw Sweep, priority int) (*Batch, error) {
+	return e.SubmitSweepTraced(sw, priority, "")
+}
+
+// SubmitSweepTraced is SubmitSweep with a caller-supplied trace ID. The
+// batch adopts (or mints) the ID and each freshly created cell job is
+// traced as "<batch-trace>-cN" (N the first grid cell the job answers),
+// so one grep for the batch trace follows every cell it spawned.
+func (e *Engine) SubmitSweepTraced(sw Sweep, priority int, traceID string) (*Batch, error) {
 	specs, err := sw.Expand()
 	if err != nil {
 		return nil, err
 	}
+	trace := telemetry.OrNewTraceID(traceID)
 	b := &Batch{
-		eng:   e,
-		specs: specs,
-		jobs:  make([]*Job, len(specs)),
+		eng:     e,
+		TraceID: trace,
+		specs:   specs,
+		jobs:    make([]*Job, len(specs)),
 	}
 	byHash := make(map[string]*Job, len(specs))
 	for i, sp := range specs {
@@ -296,7 +360,7 @@ func (e *Engine) SubmitSweep(sw Sweep, priority int) (*Batch, error) {
 			b.jobs[i] = j
 			continue
 		}
-		j, err := e.Submit(sp, priority)
+		j, err := e.SubmitTraced(sp, priority, fmt.Sprintf("%s-c%d", trace, i))
 		if err != nil {
 			b.Cancel()
 			return nil, err
@@ -306,6 +370,8 @@ func (e *Engine) SubmitSweep(sw Sweep, priority int) (*Batch, error) {
 		b.unique = append(b.unique, j)
 	}
 	e.registerBatch(b)
+	e.log.Info("engine: sweep submitted",
+		"trace", trace, "sweep", b.ID, "cells", len(specs), "jobs", len(b.unique))
 	return b, nil
 }
 
@@ -394,8 +460,10 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 		// per-job parallelism (already in sc.Env) applies.
 		Parallelism: spec.Parallelism,
 		Context:     ctx,
+		TraceID:     j.TraceID,
 		OnRound: func(round, total int) {
 			e.rounds.Add(1)
+			e.metrics.rounds.Inc()
 			j.progress(round, total)
 		},
 	})
@@ -413,7 +481,9 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 	// best-effort: consumers already tolerate a missing blob (404 /
 	// skip), so a full disk must not discard a completed run's metrics.
 	if blob, err := model.MarshalBinary(); err == nil {
+		persistStart := time.Now()
 		_ = e.store.PutBlob(hash, blob)
+		j.addPersist(time.Since(persistStart))
 	}
 	return res, nil
 }

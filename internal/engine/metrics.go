@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"github.com/pardon-feddg/pardon/internal/telemetry"
+)
+
+// engineMetrics bundles every instrument the engine layer exports,
+// resolved once per Engine against one telemetry.Registry (the process
+// Default unless Options.Metrics overrides it — tests use fresh
+// registries for isolation). Handles are pre-resolved so the hot paths
+// (scheduler dequeue, store lookup, per-round tick) never touch the
+// registry map.
+//
+// Metric naming follows DESIGN.md §8: `<subsystem>_<noun>_<unit>`,
+// counters end `_total`, durations are seconds, and every label
+// dimension is bounded by construction (method names, lifecycle states,
+// route patterns — never job IDs or content-addresses).
+type engineMetrics struct {
+	reg *telemetry.Registry
+
+	jobsSubmitted *telemetry.Counter
+	jobsCompleted *telemetry.CounterVec // state: done|failed|cancelled
+	jobsCoalesced *telemetry.Counter
+	cacheHits     *telemetry.Counter
+	rounds        *telemetry.Counter
+
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+	queueWait  *telemetry.HistogramVec // method
+	runSeconds *telemetry.HistogramVec // method
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg: reg,
+		jobsSubmitted: reg.Counter("engine_jobs_submitted_total",
+			"Submit/SubmitFunc/sweep-cell submissions accepted by the engine."),
+		jobsCompleted: reg.CounterVec("engine_jobs_completed_total",
+			"Jobs that reached a terminal state, by state (cache hits count as done).", "state"),
+		jobsCoalesced: reg.Counter("engine_jobs_coalesced_total",
+			"Submissions attached to an identical already-in-flight job."),
+		cacheHits: reg.Counter("engine_cache_hits_total",
+			"Submissions answered from the result store with zero training."),
+		rounds: reg.Counter("engine_rounds_total",
+			"Federated rounds trained across all jobs; rate() of this is rounds/s."),
+		queueDepth: reg.Gauge("sched_queue_depth",
+			"Jobs waiting for a scheduler worker (includes cancelled-but-unreaped entries)."),
+		running: reg.Gauge("sched_running_jobs",
+			"Jobs currently executing on scheduler workers."),
+		queueWait: reg.HistogramVec("sched_queue_wait_seconds",
+			"Time from submission to a worker picking the job up, per method.", nil, "method"),
+		runSeconds: reg.HistogramVec("sched_run_seconds",
+			"Job execution wall-clock from dequeue to terminal state, per method.", nil, "method"),
+	}
+}
+
+// methodLabel bounds the per-method label dimension: Spec jobs carry
+// their table method name, ad-hoc SubmitFunc jobs share one bucket.
+func methodLabel(j *Job) string {
+	if j.Spec != nil {
+		return j.Spec.Method
+	}
+	return "func"
+}
+
+// storeMetrics bundles the result-store instruments.
+type storeMetrics struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	corrupt   *telemetry.Counter
+	evictions *telemetry.Counter
+	blobBytes *telemetry.Counter
+}
+
+func newStoreMetrics(reg *telemetry.Registry) *storeMetrics {
+	return &storeMetrics{
+		hits: reg.Counter("store_hits_total",
+			"Result-store lookups answered from memory or disk."),
+		misses: reg.Counter("store_misses_total",
+			"Result-store lookups that found no (valid, current) entry."),
+		corrupt: reg.Counter("store_corrupt_total",
+			"Cache entries that were unreadable or undecodable and degraded to a miss."),
+		evictions: reg.Counter("store_evictions_total",
+			"Cache files deleted by the disk-size cap's LRU sweep."),
+		blobBytes: reg.Counter("store_blob_bytes_total",
+			"Bytes of model-checkpoint blobs written to the store."),
+	}
+}
+
+// serverMetrics bundles the HTTP-layer instruments.
+type serverMetrics struct {
+	requests  *telemetry.CounterVec   // route, code
+	latency   *telemetry.HistogramVec // route
+	sseActive *telemetry.Gauge
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: reg.CounterVec("http_requests_total",
+			"API requests served, by route pattern and status code.", "route", "code"),
+		latency: reg.HistogramVec("http_request_seconds",
+			"API request latency by route pattern (SSE streams count their full lifetime).", nil, "route"),
+		sseActive: reg.Gauge("http_sse_active",
+			"Server-Sent-Events subscriptions currently open."),
+	}
+}

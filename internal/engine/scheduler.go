@@ -5,9 +5,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // maxRetainedJobs bounds the terminal-job history a long-running
@@ -36,7 +39,10 @@ func (s State) Terminal() bool {
 // Event is one progress notification of a job, streamed to subscribers.
 // Running jobs emit an Event per completed federated round.
 type Event struct {
-	JobID  string    `json:"job_id"`
+	JobID string `json:"job_id"`
+	// Trace is the job's trace ID, echoed on every event so a log/SSE
+	// consumer can correlate frames with the submission that caused them.
+	Trace  string    `json:"trace,omitempty"`
 	State  State     `json:"state"`
 	Round  int       `json:"round,omitempty"`
 	Rounds int       `json:"rounds,omitempty"`
@@ -58,6 +64,12 @@ type Job struct {
 	Key string
 	// Spec is the job's experiment description (nil for SubmitFunc jobs).
 	Spec *Spec
+	// TraceID correlates everything this job touches — log lines, events,
+	// SSE frames, the fl run — with the submission that created it. It is
+	// adopted from the submitter (HTTP X-Request-ID) or minted at submit,
+	// and immutable afterwards; coalesced submissions observe the first
+	// submitter's trace.
+	TraceID string
 	// Created is the submission time.
 	Created time.Time
 
@@ -74,6 +86,7 @@ type Job struct {
 	finished time.Time
 	round    int
 	rounds   int
+	persist  time.Duration
 	result   *Result
 	err      error
 	subs     []chan Event
@@ -164,9 +177,49 @@ func (j *Job) Subscribe() <-chan Event {
 	return ch
 }
 
+// addPersist accumulates time spent persisting the run's outputs (the
+// result entry and the checkpoint blob are separate writes); surfaced in
+// the job's wire timing breakdown.
+func (j *Job) addPersist(d time.Duration) {
+	j.mu.Lock()
+	j.persist += d
+	j.mu.Unlock()
+}
+
+// Timing is the job's wall-clock breakdown: time spent queued, running,
+// and persisting the result. Zero-valued phases did not happen (a cache
+// hit neither queues nor runs).
+type JobTiming struct {
+	QueueSec   float64 `json:"queue_sec"`
+	RunSec     float64 `json:"run_sec"`
+	PersistSec float64 `json:"persist_sec,omitempty"`
+}
+
+// timingLocked derives the phase breakdown from the job's timestamps;
+// j.mu must be held.
+func (j *Job) timingLocked() JobTiming {
+	t := JobTiming{PersistSec: j.persist.Seconds()}
+	if !j.started.IsZero() {
+		t.QueueSec = j.started.Sub(j.Created).Seconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		t.RunSec = end.Sub(j.started).Seconds()
+	}
+	return t
+}
+
+// Timing returns the job's current phase wall-clock breakdown.
+func (j *Job) Timing() JobTiming {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.timingLocked()
+}
+
 // eventLocked snapshots the job as an Event; j.mu must be held.
 func (j *Job) eventLocked() Event {
-	ev := Event{JobID: j.ID, State: j.state, Round: j.round, Rounds: j.rounds, Time: time.Now()}
+	ev := Event{JobID: j.ID, Trace: j.TraceID, State: j.state, Round: j.round, Rounds: j.rounds, Time: time.Now()}
 	if j.err != nil {
 		ev.Err = j.err.Error()
 	}
@@ -214,6 +267,9 @@ func (j *Job) finishLocked(state State, res *Result, err error) {
 // Submissions with a content-address already queued or running coalesce
 // onto the in-flight job instead of duplicating work.
 type Scheduler struct {
+	metrics *engineMetrics
+	log     *slog.Logger
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    jobQueue
@@ -227,8 +283,8 @@ type Scheduler struct {
 }
 
 // newScheduler starts a scheduler with the given worker-pool size.
-func newScheduler(workers int) *Scheduler {
-	s := &Scheduler{jobs: map[string]*Job{}, inflight: map[string]*Job{}}
+func newScheduler(workers int, m *engineMetrics, log *slog.Logger) *Scheduler {
+	s := &Scheduler{metrics: m, log: log, jobs: map[string]*Job{}, inflight: map[string]*Job{}}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -245,7 +301,7 @@ var ErrClosed = errors.New("engine: scheduler closed")
 // submit enqueues work under a content-address. When a job with the same
 // address is already in flight, that job is returned with coalesced=true
 // and nothing is enqueued.
-func (s *Scheduler) submit(spec *Spec, key string, priority int, run jobRunFunc) (j *Job, coalesced bool, err error) {
+func (s *Scheduler) submit(spec *Spec, key string, priority int, trace string, run jobRunFunc) (j *Job, coalesced bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -263,41 +319,50 @@ func (s *Scheduler) submit(spec *Spec, key string, priority int, run jobRunFunc)
 			}
 		}
 		cur.mu.Unlock()
+		s.log.Info("engine: submission coalesced",
+			"trace", trace, "job", cur.ID, "job_trace", cur.TraceID, "method", methodLabel(cur))
 		return cur, true, nil
 	}
-	j = s.newJobLocked(spec, key, priority)
+	j = s.newJobLocked(spec, key, priority, trace)
 	j.run = run
 	j.state = StateQueued
 	s.inflight[key] = j
 	heap.Push(&s.queue, j)
+	s.metrics.queueDepth.Set(int64(s.queue.Len()))
 	s.cond.Signal()
+	s.log.Info("engine: job queued",
+		"trace", j.TraceID, "job", j.ID, "method", methodLabel(j), "priority", priority, "key", key[:min(12, len(key))])
 	return j, false, nil
 }
 
 // completed registers a job that is already Done (a cache hit), so the
 // submission is observable through the same job API as a live run.
-func (s *Scheduler) completed(spec *Spec, key string, priority int, res *Result) *Job {
+func (s *Scheduler) completed(spec *Spec, key string, priority int, trace string, res *Result) *Job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	j := s.newJobLocked(spec, key, priority)
+	j := s.newJobLocked(spec, key, priority, trace)
 	j.state = StateDone
 	j.cached = true
 	j.result = res
 	j.finished = j.Created
 	close(j.done)
+	s.mu.Unlock()
+	s.metrics.jobsCompleted.With(string(StateDone)).Inc()
+	s.log.Info("engine: job served from cache",
+		"trace", j.TraceID, "job", j.ID, "method", methodLabel(j), "key", key[:min(12, len(key))])
 	return j
 }
 
 // newJobLocked allocates and registers a job; s.mu must be held. When
 // the registry outgrows maxRetainedJobs, the oldest terminal jobs are
 // forgotten so a long-running server's job history stays bounded.
-func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int) *Job {
+func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int, trace string) *Job {
 	s.nextID++
 	s.nextSeq++
 	j := &Job{
 		ID:       fmt.Sprintf("job-%d", s.nextID),
 		Key:      key,
 		Spec:     spec,
+		TraceID:  telemetry.OrNewTraceID(trace),
 		Created:  time.Now(),
 		seq:      s.nextSeq,
 		priority: priority,
@@ -364,6 +429,8 @@ func (s *Scheduler) cancel(id string) error {
 	case StateQueued:
 		j.finishLocked(StateCancelled, nil, fmt.Errorf("engine: job %s cancelled while queued: %w", j.ID, context.Canceled))
 		j.mu.Unlock()
+		s.metrics.jobsCompleted.With(string(StateCancelled)).Inc()
+		s.log.Info("engine: job cancelled while queued", "trace", j.TraceID, "job", j.ID)
 		s.release(j)
 	case StateRunning:
 		cancel := j.cancel
@@ -422,6 +489,7 @@ func (s *Scheduler) worker() {
 			return
 		}
 		j := heap.Pop(&s.queue).(*Job)
+		s.metrics.queueDepth.Set(int64(s.queue.Len()))
 		s.mu.Unlock()
 
 		ctx, cancel := context.WithCancel(context.Background())
@@ -436,6 +504,12 @@ func (s *Scheduler) worker() {
 		j.cancel = cancel
 		j.emitLocked()
 		j.mu.Unlock()
+		method := methodLabel(j)
+		s.metrics.queueWait.With(method).Observe(j.started.Sub(j.Created).Seconds())
+		s.metrics.running.Inc()
+		s.log.Info("engine: job started",
+			"trace", j.TraceID, "job", j.ID, "method", method,
+			"queue_sec", j.started.Sub(j.Created).Seconds())
 
 		res, err := j.run(ctx, j)
 		cancel()
@@ -449,7 +523,20 @@ func (s *Scheduler) worker() {
 		default:
 			j.finishLocked(StateFailed, nil, err)
 		}
+		state := j.state
+		runSec := j.finished.Sub(j.started).Seconds()
 		j.mu.Unlock()
+		s.metrics.running.Dec()
+		s.metrics.runSeconds.With(method).Observe(runSec)
+		s.metrics.jobsCompleted.With(string(state)).Inc()
+		if err != nil {
+			s.log.Warn("engine: job finished",
+				"trace", j.TraceID, "job", j.ID, "method", method, "state", state,
+				"run_sec", runSec, "error", err)
+		} else {
+			s.log.Info("engine: job finished",
+				"trace", j.TraceID, "job", j.ID, "method", method, "state", state, "run_sec", runSec)
+		}
 		s.release(j)
 	}
 }

@@ -5,15 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // Server exposes an Engine over HTTP/JSON — the `feddg serve` API. All
 // handlers use only the standard library.
 //
 //	GET    /healthz                 liveness probe
+//	GET    /v1/healthz              health + build info + serving/draining state
 //	GET    /v1/stats                engine counters
 //	POST   /v1/jobs                 submit a Spec ({"spec":…,"priority":n,"wait":bool})
 //	GET    /v1/jobs                 list jobs, newest first (?state=…&limit=…&after=…)
@@ -34,33 +38,94 @@ import (
 // below); the flat text is mirrored at the top-level "message" field for
 // one release, for clients of the v1 string-only envelope.
 type Server struct {
-	engine *Engine
-	mux    *http.ServeMux
+	engine  *Engine
+	mux     *http.ServeMux
+	metrics *serverMetrics
 }
 
 // NewServer wraps an Engine in the HTTP API.
 func NewServer(e *Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/model", s.handleModel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	s.mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	s := &Server{engine: e, mux: http.NewServeMux(), metrics: newServerMetrics(e.metrics.reg)}
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("GET /v1/stats", s.handleStats)
+	s.handle("POST /v1/jobs", s.handleSubmit)
+	s.handle("GET /v1/jobs", s.handleList)
+	s.handle("GET /v1/jobs/{id}", s.handleStatus)
+	s.handle("GET /v1/jobs/{id}/result", s.handleResult)
+	s.handle("GET /v1/jobs/{id}/model", s.handleModel)
+	s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.handle("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
+	s.handle("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.handle("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	s.handle("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
+	s.handle("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	return s
 }
 
+// handle registers a route with the request counter and latency
+// histogram wrapped around it. Series are labeled by the registered
+// route pattern, never the raw URL: label cardinality must stay bounded
+// no matter what paths clients probe (unmatched paths fall through to
+// the mux's own 404 and are deliberately not counted).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	latency := s.metrics.latency.With(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		s.metrics.requests.With(pattern, strconv.Itoa(rec.status)).Inc()
+	})
+}
+
+// statusRecorder captures the response status for the request counter.
+// Unwrap exposes the underlying writer so http.ResponseController can
+// still reach its Flusher — SSE streams pass through this middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// NewOpsMux serves the operational endpoints (`feddg serve
+// -metrics-addr`): Prometheus metrics, runtime profiles, and health.
+// They live on their own mux so operators can bind them to localhost
+// while the API faces the network — profiles and metrics are not for
+// API clients.
+func NewOpsMux(e *Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", e.Metrics().Handler())
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, healthView(e))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // Machine-readable error codes of the structured error envelope.
 const (
@@ -150,6 +215,12 @@ type JobView struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
+	// TraceID correlates the job with its submission's log lines and SSE
+	// events (adopted from the submit's X-Request-ID or minted).
+	TraceID string `json:"trace_id,omitempty"`
+	// Timing is the phase wall-clock breakdown (queued / running /
+	// persisting); phases that have not happened read zero.
+	Timing *JobTiming `json:"timing,omitempty"`
 	// Result is inlined for terminal jobs on submit-with-wait and the
 	// result endpoint.
 	Result *Result `json:"result,omitempty"`
@@ -158,7 +229,10 @@ type JobView struct {
 // SweepView is the wire representation of a sweep batch: aggregate
 // counts plus a view per distinct job.
 type SweepView struct {
-	ID      string      `json:"id"`
+	ID string `json:"id"`
+	// TraceID is the sweep's batch trace; cell jobs derive theirs from it
+	// ("<trace>-cN").
+	TraceID string      `json:"trace_id,omitempty"`
 	Created time.Time   `json:"created"`
 	Counts  BatchCounts `json:"counts"`
 	// Done reports whether every sweep job is terminal.
@@ -188,7 +262,10 @@ func (s *Server) view(j *Job, withResult bool) JobView {
 		Round:    j.round,
 		Rounds:   j.rounds,
 		Created:  j.Created,
+		TraceID:  j.TraceID,
 	}
+	tm := j.timingLocked()
+	v.Timing = &tm
 	if j.Spec != nil {
 		v.Method = j.Spec.Method
 	}
@@ -214,6 +291,7 @@ func (s *Server) sweepView(b *Batch, withResults bool) SweepView {
 	counts := b.Counts()
 	v := SweepView{
 		ID:      b.ID,
+		TraceID: b.TraceID,
 		Created: b.Created,
 		Counts:  counts,
 		Done:    counts.Terminal(),
@@ -269,6 +347,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// HealthView is the GET /v1/healthz body: whether the engine still
+// accepts work, plus the build identity of the serving binary — the
+// first thing to check when a deployment misbehaves is which revision
+// actually runs.
+type HealthView struct {
+	// Status is "serving", or "draining" once graceful shutdown started.
+	Status string              `json:"status"`
+	Build  telemetry.BuildInfo `json:"build"`
+}
+
+func healthView(e *Engine) HealthView {
+	v := HealthView{Status: "serving", Build: telemetry.Build()}
+	if e.Draining() {
+		v.Status = "draining"
+	}
+	return v
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthView(s.engine))
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
@@ -279,11 +379,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Spec.Parallelism = req.Parallelism
-	j, err := s.engine.Submit(req.Spec, req.Priority)
+	// Adopt the client's X-Request-ID as the job's trace when it passes
+	// validation (minted otherwise), and echo the winning ID back so the
+	// client can grep server logs for it either way.
+	j, err := s.engine.SubmitTraced(req.Spec, req.Priority, r.Header.Get("X-Request-ID"))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set("X-Request-ID", j.TraceID)
 	if req.Wait {
 		if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
 			writeError(w, http.StatusRequestTimeout, ErrCodeClientGone, "client went away before the job finished")
@@ -301,11 +405,12 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Sweep.Base.Parallelism = req.Parallelism
-	b, err := s.engine.SubmitSweep(req.Sweep, req.Priority)
+	b, err := s.engine.SubmitSweepTraced(req.Sweep, req.Priority, r.Header.Get("X-Request-ID"))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
+	w.Header().Set("X-Request-ID", b.TraceID)
 	if req.Wait {
 		if _, err := b.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
 			writeError(w, http.StatusRequestTimeout, ErrCodeClientGone, "client went away before the sweep finished")
@@ -515,27 +620,33 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 
 // streamEvents writes a channel of Events to the response as SSE until
 // the channel closes (then an `event: end` frame terminates the stream
-// cleanly) or the client disconnects.
+// cleanly) or the client disconnects. Flushing goes through
+// http.ResponseController so the stream works through middleware
+// wrappers (the metrics statusRecorder) that expose Unwrap instead of
+// implementing http.Flusher themselves.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, events <-chan Event) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, ErrCodeStreamUnsupported,
-			"response writer does not support streaming")
-		return
-	}
+	rc := http.NewResponseController(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	// The first flush doubles as the capability probe: on a connection
+	// that cannot stream it fails WITHOUT committing the headers above,
+	// so the error envelope still goes out clean.
+	if err := rc.Flush(); err != nil {
+		writeError(w, http.StatusInternalServerError, ErrCodeStreamUnsupported,
+			"response writer does not support streaming")
+		return
+	}
+	s.metrics.sseActive.Inc()
+	defer s.metrics.sseActive.Dec()
 	id := 0
 	for {
 		select {
 		case ev, ok := <-events:
 			if !ok {
 				fmt.Fprint(w, "event: end\ndata: {}\n\n")
-				flusher.Flush()
+				_ = rc.Flush()
 				return
 			}
 			data, err := json.Marshal(ev)
@@ -544,7 +655,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, events <-c
 			}
 			id++
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.State, data)
-			flusher.Flush()
+			_ = rc.Flush()
 		case <-r.Context().Done():
 			return
 		}

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // memCacheCap bounds the in-memory entry count of a disk-backed Store;
@@ -27,7 +30,9 @@ const memCacheCap = 256
 // nn binary format) under the same address. Store is safe for
 // concurrent use.
 type Store struct {
-	dir string
+	dir     string
+	metrics *storeMetrics
+	log     *slog.Logger
 	// maxBytes bounds the disk footprint of a disk-backed store (0 =
 	// unbounded): after every write, least-recently-modified cache files
 	// are evicted until the total fits. See SetMaxBytes.
@@ -59,14 +64,26 @@ type storeEnvelope struct {
 
 // NewStore opens a result store. dir == "" keeps results in memory only;
 // otherwise the directory is created if missing and existing entries
-// become visible immediately.
+// become visible immediately. Counters export on the process-default
+// telemetry registry; use newStoreWith to isolate them (tests).
 func NewStore(dir string) (*Store, error) {
+	return newStoreWith(dir, telemetry.Default(), slog.Default())
+}
+
+func newStoreWith(dir string, reg *telemetry.Registry, log *slog.Logger) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("engine: create cache dir: %w", err)
 		}
 	}
-	return &Store{dir: dir, mem: map[string]*Result{}, blobs: map[string][]byte{}, use: map[string]int64{}}, nil
+	return &Store{
+		dir:     dir,
+		metrics: newStoreMetrics(reg),
+		log:     log,
+		mem:     map[string]*Result{},
+		blobs:   map[string][]byte{},
+		use:     map[string]int64{},
+	}, nil
 }
 
 // SetMaxBytes caps the disk footprint of a disk-backed store. After any
@@ -119,6 +136,7 @@ func (s *Store) Get(hash string) (*Result, bool, error) {
 		s.hits++
 		s.touchLocked(hash)
 		s.mu.Unlock()
+		s.metrics.hits.Inc()
 		return r, true, nil
 	}
 	s.mu.Unlock()
@@ -132,16 +150,26 @@ func (s *Store) Get(hash string) (*Result, bool, error) {
 		return nil, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("engine: read cache entry: %w", err)
+		// An unreadable entry (permissions, I/O error) must not fail the
+		// submission that merely tried the cache: surface it loudly, count
+		// it, and recompute.
+		s.corrupt(hash, fmt.Errorf("read: %w", err))
+		return nil, false, nil
 	}
 	var env storeEnvelope
-	if err := json.Unmarshal(raw, &env); err != nil || env.Result == nil {
-		// A torn or foreign file is a miss, not a fatal error; the entry
-		// will be recomputed and overwritten.
-		s.miss()
+	if err := json.Unmarshal(raw, &env); err != nil {
+		// A torn or foreign file is recomputed and overwritten — but never
+		// silently: corruption here usually means a disk or deploy problem
+		// an operator should hear about.
+		s.corrupt(hash, fmt.Errorf("decode: %w", err))
+		return nil, false, nil
+	}
+	if env.Result == nil {
+		s.corrupt(hash, errors.New("decode: envelope has no result"))
 		return nil, false, nil
 	}
 	if env.CodeVersion != CodeVersion {
+		// A stale-code entry is an expected miss, not corruption.
 		s.miss()
 		return nil, false, nil
 	}
@@ -150,6 +178,7 @@ func (s *Store) Get(hash string) (*Result, bool, error) {
 	s.hits++
 	s.touchLocked(hash)
 	s.mu.Unlock()
+	s.metrics.hits.Inc()
 	return env.Result, true, nil
 }
 
@@ -157,6 +186,17 @@ func (s *Store) miss() {
 	s.mu.Lock()
 	s.misses++
 	s.mu.Unlock()
+	s.metrics.misses.Inc()
+}
+
+// corrupt records an unreadable or undecodable cache entry: logged at
+// warn with its content address, counted as store_corrupt_total, and
+// treated as a miss so the result is recomputed.
+func (s *Store) corrupt(hash string, err error) {
+	s.metrics.corrupt.Inc()
+	s.log.Warn("engine: corrupt cache entry, treating as miss",
+		"key", hash, "path", s.path(hash), "error", err)
+	s.miss()
 }
 
 // Put memoizes a Result under a content-address. On-disk writes are
@@ -222,6 +262,7 @@ func (s *Store) PutBlob(hash string, data []byte) error {
 	if s.dir == "" {
 		cp := make([]byte, len(data))
 		copy(cp, data)
+		s.metrics.blobBytes.Add(int64(len(cp)))
 		s.mu.Lock()
 		if _, ok := s.blobs[hash]; !ok {
 			s.blobOrder = append(s.blobOrder, hash)
@@ -252,6 +293,7 @@ func (s *Store) PutBlob(hash string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: write checkpoint blob: %w", err)
 	}
+	s.metrics.blobBytes.Add(int64(len(data)))
 	s.noteWrite(hash+".model.bin", int64(len(data)))
 	return nil
 }
@@ -326,6 +368,7 @@ func (s *Store) enforceCap(keep string) {
 		if err := os.Remove(filepath.Join(s.dir, f.name)); err != nil {
 			continue
 		}
+		s.metrics.evictions.Inc()
 		total -= f.size
 		if hash, ok := strings.CutSuffix(f.name, ".json"); ok {
 			s.mu.Lock()

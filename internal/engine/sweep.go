@@ -177,6 +177,10 @@ func (c BatchCounts) Terminal() bool { return c.Queued == 0 && c.Running == 0 }
 type Batch struct {
 	// ID is the engine-unique batch identifier ("sweep-N").
 	ID string
+	// TraceID correlates the sweep's submission with its cell jobs: each
+	// fresh cell job's trace is "<TraceID>-cN", so one prefix-grep over
+	// the server log follows the whole grid.
+	TraceID string
 	// Created is the submission time.
 	Created time.Time
 

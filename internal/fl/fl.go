@@ -17,6 +17,7 @@ package fl
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"runtime"
@@ -423,6 +424,11 @@ type RunConfig struct {
 	// bit-identical results. Use it to bound one run's CPU while other
 	// runs (engine jobs) share the machine.
 	Parallelism int
+	// TraceID, when non-empty, tags this run's structured log lines so
+	// they correlate with the submission that started it (engine jobs
+	// thread their job trace here). Purely observational: it has no
+	// effect on the computation.
+	TraceID string
 }
 
 // Validate reports configuration errors against a client population of
@@ -465,6 +471,12 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 		return nil, nil, err
 	}
 	hist := &History{}
+
+	runStart := time.Now()
+	if cfg.TraceID != "" {
+		slog.Debug("fl: run started", "trace", cfg.TraceID, "alg", alg.Name(),
+			"clients", len(clients), "rounds", cfg.Rounds, "sample_k", cfg.SampleK)
+	}
 
 	setupStart := time.Now()
 	if err := alg.Setup(env, clients); err != nil {
@@ -545,6 +557,10 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 		if cfg.OnRound != nil {
 			cfg.OnRound(round+1, cfg.Rounds)
 		}
+	}
+	if cfg.TraceID != "" {
+		slog.Debug("fl: run finished", "trace", cfg.TraceID, "alg", alg.Name(),
+			"rounds", cfg.Rounds, "elapsed", time.Since(runStart))
 	}
 	// Detach the returned model from the algorithm's reused aggregation
 	// arena (Averager/FedGMA recycle their output across rounds — and

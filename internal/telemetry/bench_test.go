@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkTelemetryOverhead is tracked in the per-SHA BENCH artifact:
+// it prices the instrumentation a single scheduler dequeue + store
+// lookup + round tick pays (two counters, a gauge swing, and a
+// histogram observation), so a regression in instrument cost shows up
+// in CI next to the kernel numbers it would otherwise silently tax.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "")
+	hits := r.Counter("bench_hits_total", "")
+	g := r.Gauge("bench_depth", "")
+	h := r.Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		hits.Inc()
+		g.Inc()
+		h.Observe(0.0042)
+		g.Dec()
+	}
+}
+
+// BenchmarkTelemetryObserveParallel prices contended observation — many
+// worker goroutines hammering one histogram, the worst case of the
+// CAS-looped sum.
+func BenchmarkTelemetryObserveParallel(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_par_seconds", "", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.1)
+		}
+	})
+}
+
+// BenchmarkTelemetryExposition prices one /metrics scrape over a
+// realistically sized registry (a few dozen families).
+func BenchmarkTelemetryExposition(b *testing.B) {
+	r := NewRegistry()
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		r.Counter("bench_exp_"+name+"_total", "help").Add(7)
+		hv := r.HistogramVec("bench_exp_"+name+"_seconds", "help", nil, "method")
+		for _, m := range []string{"FedSR", "FedGMA", "FPL", "FedDG-GA", "CCST", "PARDON"} {
+			hv.With(m).Observe(0.3)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain,
+// and the VCS state the binary was built from. It backs `feddg -version`
+// and the GET /v1/healthz build block.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit SHA, when stamped by the Go tool.
+	Revision string `json:"revision,omitempty"`
+	// Time is the VCS commit time (RFC 3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build information, reading
+// debug.ReadBuildInfo once per process.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build info as a one-line version banner.
+func (b BuildInfo) String() string {
+	s := b.Version
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+		s += ")"
+	}
+	return s + " " + b.GoVersion
+}

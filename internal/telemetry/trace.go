@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Trace IDs tie one submission's records together across layers: minted
+// at HTTP submit (or adopted from the client's X-Request-ID), stored on
+// the scheduler job, threaded into fl.RunConfig, echoed on every job
+// event and SSE frame, and logged by every slog line the submission
+// touches. One `grep <trace-id>` over the server log follows a sweep
+// cell from submit to trained checkpoint.
+
+// traceCounter disambiguates IDs minted in the same process when the
+// random source fails (it realistically never does).
+var traceCounter atomic.Int64
+
+// NewTraceID mints a 16-hex-character trace ID. IDs are random, not
+// sequential: submissions from many clients interleave in one log and
+// must not collide across server restarts.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("trace-%d", traceCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied trace ID is acceptable
+// to adopt: non-empty, bounded, and free of characters that would break
+// log lines or SSE frames. Anything else is discarded and a fresh ID
+// minted — a client must not be able to inject log content. The bound
+// leaves room for derived suffixes (a sweep cell's "-cN") on top of a
+// generous client-supplied ID.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 100 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// OrNewTraceID adopts id when it is valid and mints a fresh trace ID
+// otherwise.
+func OrNewTraceID(id string) string {
+	if ValidTraceID(id) {
+		return id
+	}
+	return NewTraceID()
+}
