@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -73,6 +74,8 @@ type (
 	BatchCounts = engine.BatchCounts
 	// JobList is one page of the job listing.
 	JobList = engine.JobList
+	// SweepList is one page of the sweep listing.
+	SweepList = engine.SweepList
 )
 
 // Job lifecycle states, re-exported for switch statements.
@@ -96,6 +99,9 @@ const (
 	ErrCodeInternal          = engine.ErrCodeInternal
 	ErrCodeUnavailable       = engine.ErrCodeUnavailable
 	ErrCodeStreamUnsupported = engine.ErrCodeStreamUnsupported
+	ErrCodeUnauthorized      = engine.ErrCodeUnauthorized
+	ErrCodeRateLimited       = engine.ErrCodeRateLimited
+	ErrCodeQuotaExceeded     = engine.ErrCodeQuotaExceeded
 )
 
 // APIError is a typed API failure: the HTTP status plus the envelope's
@@ -110,6 +116,10 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error text.
 	Message string
+	// RetryAfter is the server's Retry-After hint on 429 responses
+	// (zero when the header was absent). Submit and SubmitSweep honor
+	// it automatically; surface it to pace any manual retry loop.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -119,6 +129,14 @@ func (e *APIError) Error() string {
 
 // NotFound reports whether the failure is an unknown job or sweep ID.
 func (e *APIError) NotFound() bool { return e.Code == ErrCodeNotFound }
+
+// Unauthorized reports a missing or unrecognized API key (HTTP 401) —
+// configure the client with WithAPIKey.
+func (e *APIError) Unauthorized() bool { return e.Status == http.StatusUnauthorized }
+
+// RateLimited reports an HTTP 429 — the tenant's request rate or queue
+// quota is exhausted; wait RetryAfter before retrying.
+func (e *APIError) RateLimited() bool { return e.Status == http.StatusTooManyRequests }
 
 // parseAPIError decodes an error response body, tolerating both the v2
 // structured envelope and the v1 flat string.
@@ -148,13 +166,29 @@ func parseAPIError(status int, body []byte) *APIError {
 	return ae
 }
 
+// parseAPIErrorResp is parseAPIError plus the response headers: it
+// lifts a Retry-After hint (seconds form) into the error.
+func parseAPIErrorResp(resp *http.Response, body []byte) *APIError {
+	ae := parseAPIError(resp.StatusCode, body)
+	if v := strings.TrimSpace(resp.Header.Get("Retry-After")); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
+}
+
 // Client talks to one `feddg serve` endpoint. It is safe for concurrent
 // use; the zero value is not usable — construct with New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	apiKey string
 	// pollInterval paces the polling fallback of Wait.
 	pollInterval time.Duration
+	// retrySleep waits between 429-retries of Submit/SubmitSweep;
+	// replaceable in tests so backoff tests run in microseconds.
+	retrySleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option customizes a Client.
@@ -167,17 +201,40 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithAPIKey authenticates every request (including event streams and
+// model downloads) as `Authorization: Bearer <key>` — required against
+// a server running with -api-keys. Without it such a server answers 401
+// (*APIError with Unauthorized() true).
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
 // New opens a client against a base URL like "http://host:8080".
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:         strings.TrimRight(baseURL, "/"),
 		hc:           &http.Client{},
 		pollInterval: 250 * time.Millisecond,
+		retrySleep: func(ctx context.Context, d time.Duration) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+				return nil
+			}
+		},
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// auth attaches the API key, when configured.
+func (c *Client) auth(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 }
 
 // do performs one JSON round-trip; non-2xx responses come back as
@@ -207,6 +264,7 @@ func (c *Client) doTraced(ctx context.Context, method, path, trace string, body,
 	if trace != "" {
 		req.Header.Set("X-Request-ID", trace)
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -214,7 +272,7 @@ func (c *Client) doTraced(ctx context.Context, method, path, trace string, body,
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return parseAPIError(resp.StatusCode, raw)
+		return parseAPIErrorResp(resp, raw)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -262,23 +320,59 @@ type SubmitOptions struct {
 	TraceID string
 }
 
+// Submission retry bounds: a 429'd Submit/SubmitSweep sleeps out the
+// server's Retry-After (clamped to maxRetryAfter, defaulting to 1s when
+// the header is absent) up to maxSubmitRetries times before surfacing
+// the error. Retrying a submit is always safe — Specs are
+// content-addressed, so a duplicate that does land coalesces or cache-hits.
+const (
+	maxSubmitRetries = 4
+	maxRetryAfter    = 30 * time.Second
+)
+
+// postRetry performs a submit POST, transparently retrying rate-limited
+// (429) responses with the server's Retry-After pacing. Any other
+// failure — including ctx expiring mid-backoff — returns immediately.
+func (c *Client) postRetry(ctx context.Context, path, trace string, body, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doTraced(ctx, http.MethodPost, path, trace, body, out)
+		var ae *APIError
+		if err == nil || !errors.As(err, &ae) || !ae.RateLimited() || attempt >= maxSubmitRetries {
+			return err
+		}
+		wait := ae.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		if wait > maxRetryAfter {
+			wait = maxRetryAfter
+		}
+		if serr := c.retrySleep(ctx, wait); serr != nil {
+			return err // ctx died waiting: surface the 429, not the ctx error alone
+		}
+	}
+}
+
 // Submit schedules one Spec. The returned view carries the job ID; with
-// opts.Wait the job is terminal and its Result inlined.
+// opts.Wait the job is terminal and its Result inlined. Rate-limited
+// submissions (429) retry automatically, honoring the server's
+// Retry-After, up to maxSubmitRetries times within ctx's lifetime.
 func (c *Client) Submit(ctx context.Context, spec Spec, opts SubmitOptions) (JobView, error) {
 	req := engine.SubmitRequest{Spec: spec, Priority: opts.Priority, Wait: opts.Wait, Parallelism: opts.Parallelism}
 	var view JobView
-	err := c.doTraced(ctx, http.MethodPost, "/v1/jobs", opts.TraceID, req, &view)
+	err := c.postRetry(ctx, "/v1/jobs", opts.TraceID, req, &view)
 	return view, err
 }
 
 // SubmitSweep schedules a parameter grid; the server expands it into
 // deduplicated content-addressed jobs. The returned view carries the
 // sweep ID, aggregate counts, and per-job views; with opts.Wait every
-// job is terminal and results are inlined.
+// job is terminal and results are inlined. Like Submit, 429s retry
+// automatically with Retry-After pacing.
 func (c *Client) SubmitSweep(ctx context.Context, sw Sweep, opts SubmitOptions) (SweepView, error) {
 	req := engine.SweepRequest{Sweep: sw, Priority: opts.Priority, Wait: opts.Wait, Parallelism: opts.Parallelism}
 	var view SweepView
-	err := c.doTraced(ctx, http.MethodPost, "/v1/sweeps", opts.TraceID, req, &view)
+	err := c.postRetry(ctx, "/v1/sweeps", opts.TraceID, req, &view)
 	return view, err
 }
 
@@ -330,6 +424,31 @@ func (c *Client) Jobs(ctx context.Context, opts ListOptions) (JobList, error) {
 		path += "?" + q.Encode()
 	}
 	var list JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &list)
+	return list, err
+}
+
+// Sweeps lists sweeps newest first, pageable exactly like Jobs (follow
+// SweepList.Next via opts.After). Listed views carry aggregate counts
+// and state but no per-job views; fetch Sweep(id) for those. The State
+// filter matches the sweep's aggregate state: "running" until every
+// job is terminal, then done/failed/cancelled.
+func (c *Client) Sweeps(ctx context.Context, opts ListOptions) (SweepList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.After != "" {
+		q.Set("after", opts.After)
+	}
+	path := "/v1/sweeps"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list SweepList
 	err := c.do(ctx, http.MethodGet, path, nil, &list)
 	return list, err
 }
@@ -423,6 +542,7 @@ func (c *Client) Model(ctx context.Context, id string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -430,7 +550,7 @@ func (c *Client) Model(ctx context.Context, id string) ([]byte, error) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return nil, parseAPIError(resp.StatusCode, raw)
+		return nil, parseAPIErrorResp(resp, raw)
 	}
 	return io.ReadAll(resp.Body)
 }

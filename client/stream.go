@@ -55,6 +55,7 @@ func (s *EventStream) connect() error {
 	if s.lastID != "" {
 		req.Header.Set("Last-Event-ID", s.lastID)
 	}
+	s.c.auth(req)
 	resp, err := s.c.hc.Do(req)
 	if err != nil {
 		return err
@@ -62,7 +63,7 @@ func (s *EventStream) connect() error {
 	if resp.StatusCode != http.StatusOK {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		resp.Body.Close()
-		return parseAPIError(resp.StatusCode, raw)
+		return parseAPIErrorResp(resp, raw)
 	}
 	s.resp = resp
 	s.br = bufio.NewReader(resp.Body)

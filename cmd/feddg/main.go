@@ -9,10 +9,10 @@
 //	feddg -exp all -scale small
 //	feddg -version
 //	feddg serve  [-addr :8080] [-metrics-addr ADDR] [-log-level LEVEL]
-//	       [-cache DIR] [-cache-max-bytes N] [-workers N]
-//	feddg submit -spec FILE|- [-server URL] [-wait] [-priority N] [-parallelism N]
-//	feddg sweep  -sweep FILE|- [-server URL] [-wait] [-watch] [-priority N] [-parallelism N]
-//	feddg watch  ID [-server URL]
+//	       [-cache DIR] [-cache-max-bytes N] [-workers N] [-api-keys FILE]
+//	feddg submit -spec FILE|- [-server URL] [-api-key KEY] [-wait] [-priority N] [-parallelism N]
+//	feddg sweep  -sweep FILE|- [-server URL] [-api-key KEY] [-wait] [-watch] [-priority N] [-parallelism N]
+//	feddg watch  ID [-server URL] [-api-key KEY]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
 // fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
@@ -25,11 +25,16 @@
 // on SIGINT/SIGTERM. With -metrics-addr it additionally serves the
 // operational endpoints (Prometheus /metrics, /debug/pprof/*,
 // /v1/healthz) on a second listener that operators can keep off the
-// public network. `feddg submit`, `feddg sweep`, and `feddg watch`
-// are thin wrappers over the typed client package speaking to a remote
-// server: submit one Spec, submit a parameter grid, or follow live
-// per-round progress of a job (job-N) or sweep (sweep-N). See README.md
-// for the job lifecycle and wire format.
+// public network. With -api-keys the API requires Authorization: Bearer
+// keys from the named-tenant JSON file and applies per-tenant rate
+// limits and queue quotas; with a cache directory the engine journals
+// every submission and replays unfinished work on restart. `feddg
+// submit`, `feddg sweep`, and `feddg watch` are thin wrappers over the
+// typed client package speaking to a remote server: submit one Spec,
+// submit a parameter grid, or follow live per-round progress of a job
+// (job-N) or sweep (sweep-N). The key flows from -api-key or the
+// FEDDG_API_KEY environment variable. See README.md for the job
+// lifecycle and wire format.
 package main
 
 import (
@@ -181,12 +186,20 @@ func serve(args []string) error {
 		cacheMaxFlag = fs.Int64("cache-max-bytes", 0, "disk-cache size cap in bytes, LRU-by-mtime eviction (0 = unbounded)")
 		workersFlag  = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
 		parFlag      = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
+		apiKeysFlag  = fs.String("api-keys", "", "tenant API-key JSON file; when set the API requires Authorization: Bearer and applies per-tenant rate limits and queue quotas")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cacheMaxFlag > 0 && *cacheFlag == "" {
 		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
+	}
+	var tenants *engine.Tenants
+	if *apiKeysFlag != "" {
+		var err error
+		if tenants, err = engine.LoadTenantsFile(*apiKeysFlag); err != nil {
+			return fmt.Errorf("-api-keys: %w", err)
+		}
 	}
 	var level slog.Level
 	if err := level.UnmarshalText([]byte(*logLevelFlag)); err != nil {
@@ -208,9 +221,13 @@ func serve(args []string) error {
 	const shutdownGrace = 10 * time.Second
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var serverOpts []engine.ServerOption
+	if tenants != nil {
+		serverOpts = append(serverOpts, engine.WithTenants(tenants))
+	}
 	srv := &http.Server{
 		Addr:    *addrFlag,
-		Handler: engine.NewServer(eng),
+		Handler: engine.NewServer(eng, serverOpts...),
 		// Request contexts derive from the signal context, so open SSE
 		// streams end when shutdown starts instead of pinning Shutdown
 		// until the grace period expires.
@@ -219,6 +236,9 @@ func serve(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("feddg serve: %s listening on %s, cache %s", telemetry.Build(), *addrFlag, cache)
+	if tenants != nil {
+		log.Printf("feddg serve: API-key auth on, tenants: %s", strings.Join(tenants.Names(), ", "))
+	}
 
 	// The ops listener is separate so metrics and profiles can stay on a
 	// loopback or cluster-internal address while the API faces clients.
@@ -259,9 +279,30 @@ func serve(args []string) error {
 	return nil
 }
 
-// clientFlags adds the flags every remote subcommand shares.
-func clientFlags(fs *flag.FlagSet) *string {
-	return fs.String("server", "http://127.0.0.1:8080", "base URL of a running `feddg serve`")
+// remoteFlags holds the flags every remote subcommand shares.
+type remoteFlags struct {
+	server *string
+	apiKey *string
+}
+
+// clientFlags adds the shared remote flags. The API key defaults to
+// the FEDDG_API_KEY environment variable so scripts don't have to put
+// secrets on command lines (where they leak into shell history and
+// process listings).
+func clientFlags(fs *flag.FlagSet) remoteFlags {
+	return remoteFlags{
+		server: fs.String("server", "http://127.0.0.1:8080", "base URL of a running `feddg serve`"),
+		apiKey: fs.String("api-key", os.Getenv("FEDDG_API_KEY"), "tenant API key sent as Authorization: Bearer (default $FEDDG_API_KEY)"),
+	}
+}
+
+// newClient builds the SDK client from the shared remote flags.
+func (rf remoteFlags) newClient() *client.Client {
+	var opts []client.Option
+	if *rf.apiKey != "" {
+		opts = append(opts, client.WithAPIKey(*rf.apiKey))
+	}
+	return client.New(*rf.server, opts...)
 }
 
 // readJSONArg decodes a JSON document from a file path or, for "-",
@@ -295,7 +336,7 @@ func printJSON(v any) error {
 // submitCmd submits one Spec to a remote server through the client SDK.
 func submitCmd(args []string) error {
 	fs := flag.NewFlagSet("feddg submit", flag.ContinueOnError)
-	server := clientFlags(fs)
+	rf := clientFlags(fs)
 	var (
 		specFlag = fs.String("spec", "", "Spec JSON file (- = stdin)")
 		waitFlag = fs.Bool("wait", false, "block until the job is terminal and print its result")
@@ -314,7 +355,7 @@ func submitCmd(args []string) error {
 		return fmt.Errorf("read spec: %w", err)
 	}
 	ctx := context.Background()
-	c := client.New(*server)
+	c := rf.newClient()
 	// Submit async and wait client-side: client.Wait survives transport
 	// drops (SSE with reconnect, polling fallback), where a single
 	// server-side wait=true request would die with the connection.
@@ -340,7 +381,7 @@ func submitCmd(args []string) error {
 // follows the merged event stream until every job is terminal.
 func sweepCmd(args []string) error {
 	fs := flag.NewFlagSet("feddg sweep", flag.ContinueOnError)
-	server := clientFlags(fs)
+	rf := clientFlags(fs)
 	var (
 		sweepFlag = fs.String("sweep", "", "Sweep JSON file (- = stdin)")
 		waitFlag  = fs.Bool("wait", false, "block until every sweep job is terminal and print results")
@@ -360,7 +401,7 @@ func sweepCmd(args []string) error {
 		return fmt.Errorf("read sweep: %w", err)
 	}
 	ctx := context.Background()
-	c := client.New(*server)
+	c := rf.newClient()
 	// Submit async; -wait/-watch then block client-side, where the SDK
 	// reconnects across transport drops instead of dying with a single
 	// long-lived wait=true request.
@@ -396,7 +437,7 @@ func sweepCmd(args []string) error {
 // (sweep-N) until it is terminal.
 func watchCmd(args []string) error {
 	fs := flag.NewFlagSet("feddg watch", flag.ContinueOnError)
-	server := clientFlags(fs)
+	rf := clientFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -404,7 +445,7 @@ func watchCmd(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("usage: feddg watch [-server URL] job-N|sweep-N")
 	}
-	return watchEvents(context.Background(), client.New(*server), fs.Arg(0))
+	return watchEvents(context.Background(), rf.newClient(), fs.Arg(0))
 }
 
 // watchEvents streams an ID's events to stdout, one line per event,

@@ -22,6 +22,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
@@ -119,11 +120,13 @@ type Stats struct {
 	Jobs int `json:"jobs"`
 }
 
-// Engine bundles the scheduler, the result store, and the scenario
-// cache. All methods are safe for concurrent use.
+// Engine bundles the scheduler, the result store, the write-ahead job
+// journal, and the scenario cache. All methods are safe for concurrent
+// use.
 type Engine struct {
 	store       *Store
 	sched       *Scheduler
+	journal     *Journal // nil when CacheDir is unset (memory-only engine)
 	scenarios   *scenarioCache
 	parallelism int
 	metrics     *engineMetrics
@@ -134,13 +137,21 @@ type Engine struct {
 	coalesced atomic.Int64
 	rounds    atomic.Int64
 
+	tenantMu sync.RWMutex
+	tenants  *Tenants // nil = auth off, no quotas
+
 	batchMu    sync.Mutex
 	batches    map[string]*Batch
 	batchOrder []string
 	nextBatch  int64
 }
 
-// New opens an Engine.
+// New opens an Engine. A disk-backed engine (Options.CacheDir set)
+// also opens the write-ahead job journal next to the Store and replays
+// it: every job and sweep that was queued or running when the previous
+// process died is re-enqueued (idempotently — cells whose Results are
+// already cached are born done with zero training), then the journal is
+// compacted down to what is still live.
 func New(opts Options) (*Engine, error) {
 	reg := opts.Metrics
 	if reg == nil {
@@ -172,19 +183,88 @@ func New(opts Options) (*Engine, error) {
 		par = (runtime.NumCPU() + workers - 1) / workers
 	}
 	m := newEngineMetrics(reg)
-	return &Engine{
+	var jl *Journal
+	if opts.CacheDir != "" {
+		jl, err = openJournal(opts.CacheDir, newJournalMetrics(reg), logger)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
 		store:       store,
 		sched:       newScheduler(workers, m, logger),
+		journal:     jl,
 		scenarios:   newScenarioCache(opts.ScenarioCap),
 		parallelism: par,
 		metrics:     m,
 		log:         logger,
 		batches:     map[string]*Batch{},
-	}, nil
+	}
+	e.sched.journal = jl
+	e.replayJournal()
+	return e, nil
 }
 
-// Close cancels all pending and running jobs and drains the worker pool.
-func (e *Engine) Close() { e.sched.close() }
+// replayJournal re-enqueues the journal's live submissions at boot:
+// sweeps first (a replayed sweep re-creates its cell jobs), then
+// standalone jobs whose sweep — if any — did not replay. Replay errors
+// are logged and skipped, never fatal: one Spec that no longer
+// validates must not keep the server down.
+func (e *Engine) replayJournal() {
+	if e.journal == nil {
+		return
+	}
+	jobs, sweeps := e.journal.live()
+	replayedSweep := map[string]bool{}
+	for _, rec := range sweeps {
+		if _, err := e.SubmitSweepAs(*rec.Sweep, rec.Priority, rec.Trace, rec.Tenant); err != nil {
+			e.log.Warn("engine: journal sweep replay failed", "trace", rec.Trace, "error", err)
+			continue
+		}
+		replayedSweep[rec.Key] = true
+		e.journal.metrics.replayed.With("sweep").Inc()
+	}
+	for _, rec := range jobs {
+		if rec.SweepTrace != "" && replayedSweep[rec.SweepTrace] {
+			continue // re-created as a cell of its replayed sweep
+		}
+		if _, err := e.submit(*rec.Spec, rec.Priority, rec.Trace, rec.Tenant, rec.SweepTrace, false); err != nil {
+			e.log.Warn("engine: journal job replay failed", "trace", rec.Trace, "key", rec.Key, "error", err)
+			continue
+		}
+		e.journal.metrics.replayed.With("job").Inc()
+	}
+	if len(jobs) > 0 || len(sweeps) > 0 {
+		e.log.Info("engine: journal replayed", "jobs", len(jobs), "sweeps", len(sweeps))
+	}
+	e.journal.compact()
+}
+
+// SetTenants installs (or replaces) the multi-tenant admission registry:
+// queue quotas take effect on the next submission. The HTTP layer holds
+// the same registry for auth and rate limiting.
+func (e *Engine) SetTenants(t *Tenants) {
+	e.tenantMu.Lock()
+	e.tenants = t
+	e.tenantMu.Unlock()
+}
+
+// tenantQuota resolves a tenant's scheduler-queue quota (0 = unlimited).
+func (e *Engine) tenantQuota(tenant string) int {
+	e.tenantMu.RLock()
+	t := e.tenants
+	e.tenantMu.RUnlock()
+	return t.MaxQueued(tenant)
+}
+
+// Close cancels all pending and running jobs, drains the worker pool,
+// and releases the journal. Jobs cancelled by this drain keep their
+// journal records live, so a subsequent boot on the same cache dir
+// re-enqueues them.
+func (e *Engine) Close() {
+	e.sched.close()
+	e.journal.Close()
+}
 
 // Draining reports whether the engine has begun shutting down and
 // rejects new submissions (GET /v1/healthz surfaces this as the
@@ -224,7 +304,7 @@ func (e *Engine) Stats() Stats {
 // one exists, and otherwise enqueues at the given priority (higher runs
 // first).
 func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
-	return e.submit(spec, priority, "", false)
+	return e.submit(spec, priority, "", "", "", false)
 }
 
 // SubmitTraced is Submit with a caller-supplied trace ID (the HTTP
@@ -232,7 +312,15 @@ func (e *Engine) Submit(spec Spec, priority int) (*Job, error) {
 // submission that coalesces onto an in-flight job observes that job's
 // original trace.
 func (e *Engine) SubmitTraced(spec Spec, priority int, traceID string) (*Job, error) {
-	return e.submit(spec, priority, traceID, false)
+	return e.submit(spec, priority, traceID, "", "", false)
+}
+
+// SubmitAs is SubmitTraced with tenant attribution: the job joins that
+// tenant's fair-share queue and counts against its queue quota (a full
+// quota refuses the submission with a *QuotaError). An empty tenant is
+// the anonymous tenant.
+func (e *Engine) SubmitAs(spec Spec, priority int, traceID, tenant string) (*Job, error) {
+	return e.submit(spec, priority, traceID, tenant, "", false)
 }
 
 // SubmitFresh is Submit minus the cache lookup: the run always executes
@@ -240,10 +328,10 @@ func (e *Engine) SubmitTraced(spec Spec, priority int, traceID string) (*Job, er
 // consumer needs this machine's live measurement — e.g. the Fig. 4
 // wall-clock breakdown, which a cached result would report stale.
 func (e *Engine) SubmitFresh(spec Spec, priority int) (*Job, error) {
-	return e.submit(spec, priority, "", true)
+	return e.submit(spec, priority, "", "", "", true)
 }
 
-func (e *Engine) submit(spec Spec, priority int, trace string, fresh bool) (*Job, error) {
+func (e *Engine) submit(spec Spec, priority int, trace, tenant, sweepTrace string, fresh bool) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -251,8 +339,11 @@ func (e *Engine) submit(spec Spec, priority int, trace string, fresh bool) (*Job
 	if err != nil {
 		return nil, err
 	}
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	e.submitted.Add(1)
-	e.metrics.jobsSubmitted.Inc()
+	e.metrics.jobsSubmitted.With(tenant).Inc()
 	sp := spec
 	if !fresh {
 		if res, ok, err := e.store.Get(hash); err != nil {
@@ -260,10 +351,19 @@ func (e *Engine) submit(spec Spec, priority int, trace string, fresh bool) (*Job
 		} else if ok {
 			e.cacheHits.Add(1)
 			e.metrics.cacheHits.Inc()
-			return e.sched.completed(&sp, hash, priority, trace, res), nil
+			// A cached answer also settles any stale live journal record
+			// for this key (e.g. a crash after the Result was persisted
+			// but before the done-record landed).
+			e.journal.jobDone(hash, StateDone)
+			return e.sched.completed(&sp, hash, priority, trace, tenant, res), nil
 		}
 	}
-	j, coalesced, err := e.sched.submit(&sp, hash, priority, trace, func(ctx context.Context, j *Job) (*Result, error) {
+	// Write-ahead: the submission is journaled before the scheduler can
+	// accept it, so a crash between the two replays the job rather than
+	// losing it. Duplicate submit records for a coalesced key compact
+	// away; a quota refusal below retracts the record.
+	e.journal.jobSubmitted(hash, trace, tenant, priority, sweepTrace, sp)
+	j, coalesced, err := e.sched.submit(&sp, hash, priority, trace, tenant, e.tenantQuota(tenant), func(ctx context.Context, j *Job) (*Result, error) {
 		res, err := e.runSpec(ctx, j, sp, hash)
 		if err != nil {
 			return nil, err
@@ -279,6 +379,13 @@ func (e *Engine) submit(spec Spec, priority int, trace string, fresh bool) (*Job
 		e.coalesced.Add(1)
 		e.metrics.jobsCoalesced.Inc()
 	}
+	var qerr *QuotaError
+	if errors.As(err, &qerr) {
+		// Quota refusals only happen for keys with no in-flight job
+		// (coalescing is checked first), so retracting the record cannot
+		// clobber a live submission's journal entry.
+		e.journal.jobDone(hash, StateCancelled)
+	}
 	return j, err
 }
 
@@ -291,19 +398,29 @@ type JobFunc func(ctx context.Context) (*Result, error)
 // for experiments that are not a single federated run (e.g. the Fig. 8
 // style-transfer comparison).
 func (e *Engine) SubmitFunc(key string, priority int, fn JobFunc) (*Job, error) {
+	return e.SubmitFuncAs(key, priority, "", fn)
+}
+
+// SubmitFuncAs is SubmitFunc with tenant attribution (fair-share queue,
+// queue quota, metrics label). Func jobs are not journaled — their
+// closures cannot be reconstructed after a restart.
+func (e *Engine) SubmitFuncAs(key string, priority int, tenant string, fn JobFunc) (*Job, error) {
 	if key == "" {
 		return nil, fmt.Errorf("engine: SubmitFunc needs a content-address key")
 	}
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	e.submitted.Add(1)
-	e.metrics.jobsSubmitted.Inc()
+	e.metrics.jobsSubmitted.With(tenant).Inc()
 	if res, ok, err := e.store.Get(key); err != nil {
 		return nil, err
 	} else if ok {
 		e.cacheHits.Add(1)
 		e.metrics.cacheHits.Inc()
-		return e.sched.completed(nil, key, priority, "", res), nil
+		return e.sched.completed(nil, key, priority, "", tenant, res), nil
 	}
-	j, coalesced, err := e.sched.submit(nil, key, priority, "", func(ctx context.Context, j *Job) (*Result, error) {
+	j, coalesced, err := e.sched.submit(nil, key, priority, "", tenant, e.tenantQuota(tenant), func(ctx context.Context, j *Job) (*Result, error) {
 		res, err := fn(ctx)
 		if err != nil {
 			return nil, err
@@ -338,14 +455,27 @@ func (e *Engine) SubmitSweep(sw Sweep, priority int) (*Batch, error) {
 // traced as "<batch-trace>-cN" (N the first grid cell the job answers),
 // so one grep for the batch trace follows every cell it spawned.
 func (e *Engine) SubmitSweepTraced(sw Sweep, priority int, traceID string) (*Batch, error) {
+	return e.SubmitSweepAs(sw, priority, traceID, "")
+}
+
+// SubmitSweepAs is SubmitSweepTraced with tenant attribution. On a
+// disk-backed engine the whole sweep is journaled under its batch trace
+// before any cell is submitted, so a crash mid-sweep reconstitutes the
+// Batch — not just its surviving cells — on the next boot.
+func (e *Engine) SubmitSweepAs(sw Sweep, priority int, traceID, tenant string) (*Batch, error) {
 	specs, err := sw.Expand()
 	if err != nil {
 		return nil, err
 	}
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	trace := telemetry.OrNewTraceID(traceID)
+	e.journal.sweepSubmitted(trace, tenant, priority, sw)
 	b := &Batch{
 		eng:     e,
 		TraceID: trace,
+		Tenant:  tenant,
 		specs:   specs,
 		jobs:    make([]*Job, len(specs)),
 	}
@@ -354,15 +484,19 @@ func (e *Engine) SubmitSweepTraced(sw Sweep, priority int, traceID string) (*Bat
 		hash, err := sp.Hash()
 		if err != nil {
 			b.Cancel()
+			e.journal.sweepDone(trace)
 			return nil, err
 		}
 		if j, ok := byHash[hash]; ok {
 			b.jobs[i] = j
 			continue
 		}
-		j, err := e.SubmitTraced(sp, priority, fmt.Sprintf("%s-c%d", trace, i))
+		j, err := e.submit(sp, priority, fmt.Sprintf("%s-c%d", trace, i), tenant, trace, false)
 		if err != nil {
+			// A refused sweep was never accepted, so it is not owed a
+			// replay: settle the journal record before surfacing the error.
 			b.Cancel()
+			e.journal.sweepDone(trace)
 			return nil, err
 		}
 		byHash[hash] = j
@@ -370,9 +504,27 @@ func (e *Engine) SubmitSweepTraced(sw Sweep, priority int, traceID string) (*Bat
 		b.unique = append(b.unique, j)
 	}
 	e.registerBatch(b)
+	e.watchSweep(b)
 	e.log.Info("engine: sweep submitted",
-		"trace", trace, "sweep", b.ID, "cells", len(specs), "jobs", len(b.unique))
+		"trace", trace, "sweep", b.ID, "tenant", tenant, "cells", len(specs), "jobs", len(b.unique))
 	return b, nil
+}
+
+// watchSweep journals the sweep's done-record once every unique cell
+// job is terminal — unless the engine is draining, in which case the
+// record stays live so the next boot replays the sweep.
+func (e *Engine) watchSweep(b *Batch) {
+	if e.journal == nil {
+		return
+	}
+	go func() {
+		for _, j := range b.unique {
+			<-j.Done()
+		}
+		if !e.Draining() {
+			e.journal.sweepDone(b.TraceID)
+		}
+	}()
 }
 
 // maxRetainedBatches bounds the batch history a long-running engine
@@ -417,6 +569,18 @@ func (e *Engine) Batch(id string) (*Batch, bool) {
 	defer e.batchMu.Unlock()
 	b, ok := e.batches[id]
 	return b, ok
+}
+
+// Batches returns every retained sweep batch, newest first (the order
+// GET /v1/sweeps pages through).
+func (e *Engine) Batches() []*Batch {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	out := make([]*Batch, 0, len(e.batchOrder))
+	for i := len(e.batchOrder) - 1; i >= 0; i-- {
+		out = append(out, e.batches[e.batchOrder[i]])
+	}
+	return out
 }
 
 // Job looks up a job by ID.

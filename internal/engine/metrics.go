@@ -14,17 +14,19 @@ import (
 // Metric naming follows DESIGN.md §8: `<subsystem>_<noun>_<unit>`,
 // counters end `_total`, durations are seconds, and every label
 // dimension is bounded by construction (method names, lifecycle states,
-// route patterns — never job IDs or content-addresses).
+// route patterns, configured tenant names — never job IDs,
+// content-addresses, or attacker-chosen strings).
 type engineMetrics struct {
 	reg *telemetry.Registry
 
-	jobsSubmitted *telemetry.Counter
-	jobsCompleted *telemetry.CounterVec // state: done|failed|cancelled
+	jobsSubmitted *telemetry.CounterVec // tenant
+	jobsCompleted *telemetry.CounterVec // state: done|failed|cancelled; tenant
 	jobsCoalesced *telemetry.Counter
 	cacheHits     *telemetry.Counter
 	rounds        *telemetry.Counter
+	quotaRejected *telemetry.CounterVec // tenant
 
-	queueDepth *telemetry.Gauge
+	queueDepth *telemetry.GaugeVec // tenant
 	running    *telemetry.Gauge
 	queueWait  *telemetry.HistogramVec // method
 	runSeconds *telemetry.HistogramVec // method
@@ -33,18 +35,20 @@ type engineMetrics struct {
 func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
 	return &engineMetrics{
 		reg: reg,
-		jobsSubmitted: reg.Counter("engine_jobs_submitted_total",
-			"Submit/SubmitFunc/sweep-cell submissions accepted by the engine."),
+		jobsSubmitted: reg.CounterVec("engine_jobs_submitted_total",
+			"Submit/SubmitFunc/sweep-cell submissions accepted by the engine, by tenant.", "tenant"),
 		jobsCompleted: reg.CounterVec("engine_jobs_completed_total",
-			"Jobs that reached a terminal state, by state (cache hits count as done).", "state"),
+			"Jobs that reached a terminal state, by state (cache hits count as done) and tenant.", "state", "tenant"),
 		jobsCoalesced: reg.Counter("engine_jobs_coalesced_total",
 			"Submissions attached to an identical already-in-flight job."),
 		cacheHits: reg.Counter("engine_cache_hits_total",
 			"Submissions answered from the result store with zero training."),
 		rounds: reg.Counter("engine_rounds_total",
 			"Federated rounds trained across all jobs; rate() of this is rounds/s."),
-		queueDepth: reg.Gauge("sched_queue_depth",
-			"Jobs waiting for a scheduler worker (includes cancelled-but-unreaped entries)."),
+		quotaRejected: reg.CounterVec("engine_quota_rejected_total",
+			"Submissions refused because the tenant's queue quota was full.", "tenant"),
+		queueDepth: reg.GaugeVec("sched_queue_depth",
+			"Jobs waiting for a scheduler worker, per tenant (includes cancelled-but-unreaped entries).", "tenant"),
 		running: reg.Gauge("sched_running_jobs",
 			"Jobs currently executing on scheduler workers."),
 		queueWait: reg.HistogramVec("sched_queue_wait_seconds",
@@ -61,6 +65,30 @@ func methodLabel(j *Job) string {
 		return j.Spec.Method
 	}
 	return "func"
+}
+
+// journalMetrics bundles the write-ahead journal instruments.
+type journalMetrics struct {
+	records     *telemetry.Counter
+	corrupt     *telemetry.Counter
+	compactions *telemetry.Counter
+	replayed    *telemetry.CounterVec // kind: job|sweep
+	live        *telemetry.Gauge
+}
+
+func newJournalMetrics(reg *telemetry.Registry) *journalMetrics {
+	return &journalMetrics{
+		records: reg.Counter("journal_records_total",
+			"Records appended (and fsync'd) to the write-ahead job journal."),
+		corrupt: reg.Counter("journal_corrupt_lines_total",
+			"Journal lines skipped on load because they failed to parse."),
+		compactions: reg.Counter("journal_compactions_total",
+			"Times the journal was rewritten down to its live records."),
+		replayed: reg.CounterVec("journal_replayed_total",
+			"Submissions re-enqueued from the journal at boot, by kind.", "kind"),
+		live: reg.Gauge("journal_live_records",
+			"Journaled submissions not yet terminal (jobs + sweeps)."),
+	}
 }
 
 // storeMetrics bundles the result-store instruments.
@@ -89,18 +117,21 @@ func newStoreMetrics(reg *telemetry.Registry) *storeMetrics {
 
 // serverMetrics bundles the HTTP-layer instruments.
 type serverMetrics struct {
-	requests  *telemetry.CounterVec   // route, code
-	latency   *telemetry.HistogramVec // route
-	sseActive *telemetry.Gauge
+	requests    *telemetry.CounterVec   // route, code, tenant
+	latency     *telemetry.HistogramVec // route
+	sseActive   *telemetry.Gauge
+	rateLimited *telemetry.CounterVec // tenant
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	return &serverMetrics{
 		requests: reg.CounterVec("http_requests_total",
-			"API requests served, by route pattern and status code.", "route", "code"),
+			"API requests served, by route pattern, status code, and tenant (failed auth is \"unauthenticated\").", "route", "code", "tenant"),
 		latency: reg.HistogramVec("http_request_seconds",
 			"API request latency by route pattern (SSE streams count their full lifetime).", nil, "route"),
 		sseActive: reg.Gauge("http_sse_active",
 			"Server-Sent-Events subscriptions currently open."),
+		rateLimited: reg.CounterVec("http_rate_limited_total",
+			"Requests refused with 429 by the per-tenant token bucket.", "tenant"),
 	}
 }

@@ -70,6 +70,11 @@ type Job struct {
 	// and immutable afterwards; coalesced submissions observe the first
 	// submitter's trace.
 	TraceID string
+	// Tenant attributes the job to the authenticated tenant that first
+	// submitted it ("anonymous" when auth is off). It selects the job's
+	// fair-share queue and labels its metrics; coalesced submissions from
+	// other tenants observe the first submitter's tenant.
+	Tenant string
 	// Created is the submission time.
 	Created time.Time
 
@@ -263,19 +268,31 @@ func (j *Job) finishLocked(state State, res *Result, err error) {
 	close(j.done)
 }
 
-// Scheduler owns the bounded worker pool and the priority/FIFO queue.
-// Submissions with a content-address already queued or running coalesce
-// onto the in-flight job instead of duplicating work.
+// Scheduler owns the bounded worker pool and the fair-share queue:
+// one priority/FIFO heap per tenant, served round-robin across tenants
+// with work pending, so one tenant's 4096-cell sweep cannot starve a
+// single job from another. Within a tenant the original semantics hold
+// — higher priority first, FIFO within a level. Submissions with a
+// content-address already queued or running coalesce onto the in-flight
+// job instead of duplicating work.
 type Scheduler struct {
 	metrics *engineMetrics
 	log     *slog.Logger
+	// journal, when non-nil, receives started/terminal records for
+	// journaled jobs. Jobs cancelled because the scheduler itself is
+	// draining are deliberately NOT journaled terminal: they must
+	// re-enqueue on the next boot.
+	journal *Journal
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    jobQueue
-	jobs     map[string]*Job // by ID
-	order    []*Job          // submission order, for bounded retention
-	inflight map[string]*Job // by content-address, queued or running
+	queues   map[string]*jobQueue // per-tenant priority heaps
+	rr       []string             // round-robin ring of tenants ever seen
+	rrNext   int                  // next ring slot to serve
+	queued   int                  // total queued entries across all tenants
+	jobs     map[string]*Job      // by ID
+	order    []*Job               // submission order, for bounded retention
+	inflight map[string]*Job      // by content-address, queued or running
 	nextID   int64
 	nextSeq  int64
 	closed   bool
@@ -284,7 +301,7 @@ type Scheduler struct {
 
 // newScheduler starts a scheduler with the given worker-pool size.
 func newScheduler(workers int, m *engineMetrics, log *slog.Logger) *Scheduler {
-	s := &Scheduler{metrics: m, log: log, jobs: map[string]*Job{}, inflight: map[string]*Job{}}
+	s := &Scheduler{metrics: m, log: log, queues: map[string]*jobQueue{}, jobs: map[string]*Job{}, inflight: map[string]*Job{}}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -293,15 +310,58 @@ func newScheduler(workers int, m *engineMetrics, log *slog.Logger) *Scheduler {
 	return s
 }
 
+// queueForLocked returns the tenant's heap, creating it (and a ring
+// slot) on first use; s.mu must be held. Ring slots are never removed —
+// the tenant set is bounded by configuration, and an empty queue costs
+// one map entry.
+func (s *Scheduler) queueForLocked(tenant string) *jobQueue {
+	q, ok := s.queues[tenant]
+	if !ok {
+		q = &jobQueue{}
+		s.queues[tenant] = q
+		s.rr = append(s.rr, tenant)
+	}
+	return q
+}
+
+// dequeueLocked pops the next job fairly: scan the tenant ring from
+// rrNext, take the head of the first non-empty heap, and advance the
+// ring past the served tenant. s.mu must be held and s.queued > 0.
+func (s *Scheduler) dequeueLocked() *Job {
+	n := len(s.rr)
+	for i := 0; i < n; i++ {
+		tenant := s.rr[(s.rrNext+i)%n]
+		q := s.queues[tenant]
+		if q.Len() == 0 {
+			continue
+		}
+		s.rrNext = (s.rrNext + i + 1) % n
+		j := heap.Pop(q).(*Job)
+		s.queued--
+		s.metrics.queueDepth.With(tenant).Set(int64(q.Len()))
+		return j
+	}
+	return nil
+}
+
+// isClosed reports whether the scheduler is draining.
+func (s *Scheduler) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // ErrClosed is returned by submissions after Close: the engine is
 // draining and will accept no more work. It is a transient service
 // condition, not a fault of the submitted Spec.
 var ErrClosed = errors.New("engine: scheduler closed")
 
-// submit enqueues work under a content-address. When a job with the same
-// address is already in flight, that job is returned with coalesced=true
-// and nothing is enqueued.
-func (s *Scheduler) submit(spec *Spec, key string, priority int, trace string, run jobRunFunc) (j *Job, coalesced bool, err error) {
+// submit enqueues work under a content-address for a tenant. When a job
+// with the same address is already in flight, that job is returned with
+// coalesced=true and nothing is enqueued (coalescing never consumes
+// quota). quota > 0 caps how many jobs the tenant may have queued; at
+// the cap the submission is refused with a *QuotaError.
+func (s *Scheduler) submit(spec *Spec, key string, priority int, trace, tenant string, quota int, run jobRunFunc) (j *Job, coalesced bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -315,7 +375,7 @@ func (s *Scheduler) submit(spec *Spec, key string, priority int, trace string, r
 		if priority > cur.priority {
 			cur.priority = priority
 			if cur.state == StateQueued && cur.heapIdx >= 0 {
-				heap.Fix(&s.queue, cur.heapIdx)
+				heap.Fix(s.queues[cur.Tenant], cur.heapIdx)
 			}
 		}
 		cur.mu.Unlock()
@@ -323,30 +383,37 @@ func (s *Scheduler) submit(spec *Spec, key string, priority int, trace string, r
 			"trace", trace, "job", cur.ID, "job_trace", cur.TraceID, "method", methodLabel(cur))
 		return cur, true, nil
 	}
-	j = s.newJobLocked(spec, key, priority, trace)
+	q := s.queueForLocked(tenant)
+	if quota > 0 && q.Len() >= quota {
+		s.metrics.quotaRejected.With(tenant).Inc()
+		s.log.Warn("engine: submission refused by queue quota", "trace", trace, "tenant", tenant, "quota", quota)
+		return nil, false, &QuotaError{Tenant: tenant, Limit: quota}
+	}
+	j = s.newJobLocked(spec, key, priority, trace, tenant)
 	j.run = run
 	j.state = StateQueued
 	s.inflight[key] = j
-	heap.Push(&s.queue, j)
-	s.metrics.queueDepth.Set(int64(s.queue.Len()))
+	heap.Push(q, j)
+	s.queued++
+	s.metrics.queueDepth.With(tenant).Set(int64(q.Len()))
 	s.cond.Signal()
 	s.log.Info("engine: job queued",
-		"trace", j.TraceID, "job", j.ID, "method", methodLabel(j), "priority", priority, "key", key[:min(12, len(key))])
+		"trace", j.TraceID, "job", j.ID, "tenant", tenant, "method", methodLabel(j), "priority", priority, "key", key[:min(12, len(key))])
 	return j, false, nil
 }
 
 // completed registers a job that is already Done (a cache hit), so the
 // submission is observable through the same job API as a live run.
-func (s *Scheduler) completed(spec *Spec, key string, priority int, trace string, res *Result) *Job {
+func (s *Scheduler) completed(spec *Spec, key string, priority int, trace, tenant string, res *Result) *Job {
 	s.mu.Lock()
-	j := s.newJobLocked(spec, key, priority, trace)
+	j := s.newJobLocked(spec, key, priority, trace, tenant)
 	j.state = StateDone
 	j.cached = true
 	j.result = res
 	j.finished = j.Created
 	close(j.done)
 	s.mu.Unlock()
-	s.metrics.jobsCompleted.With(string(StateDone)).Inc()
+	s.metrics.jobsCompleted.With(string(StateDone), tenant).Inc()
 	s.log.Info("engine: job served from cache",
 		"trace", j.TraceID, "job", j.ID, "method", methodLabel(j), "key", key[:min(12, len(key))])
 	return j
@@ -355,14 +422,18 @@ func (s *Scheduler) completed(spec *Spec, key string, priority int, trace string
 // newJobLocked allocates and registers a job; s.mu must be held. When
 // the registry outgrows maxRetainedJobs, the oldest terminal jobs are
 // forgotten so a long-running server's job history stays bounded.
-func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int, trace string) *Job {
+func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int, trace, tenant string) *Job {
 	s.nextID++
 	s.nextSeq++
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	j := &Job{
 		ID:       fmt.Sprintf("job-%d", s.nextID),
 		Key:      key,
 		Spec:     spec,
 		TraceID:  telemetry.OrNewTraceID(trace),
+		Tenant:   tenant,
 		Created:  time.Now(),
 		seq:      s.nextSeq,
 		priority: priority,
@@ -429,8 +500,13 @@ func (s *Scheduler) cancel(id string) error {
 	case StateQueued:
 		j.finishLocked(StateCancelled, nil, fmt.Errorf("engine: job %s cancelled while queued: %w", j.ID, context.Canceled))
 		j.mu.Unlock()
-		s.metrics.jobsCompleted.With(string(StateCancelled)).Inc()
+		s.metrics.jobsCompleted.With(string(StateCancelled), j.Tenant).Inc()
 		s.log.Info("engine: job cancelled while queued", "trace", j.TraceID, "job", j.ID)
+		// A deliberate cancel is terminal and must not replay; a cancel
+		// caused by the scheduler draining must.
+		if !s.isClosed() {
+			s.journal.jobDone(j.Key, StateCancelled)
+		}
 		s.release(j)
 	case StateRunning:
 		cancel := j.cancel
@@ -481,16 +557,18 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for !s.closed && s.queue.Len() == 0 {
+		for !s.closed && s.queued == 0 {
 			s.cond.Wait()
 		}
-		if s.queue.Len() == 0 {
+		if s.queued == 0 {
 			s.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&s.queue).(*Job)
-		s.metrics.queueDepth.Set(int64(s.queue.Len()))
+		j := s.dequeueLocked()
 		s.mu.Unlock()
+		if j == nil {
+			continue
+		}
 
 		ctx, cancel := context.WithCancel(context.Background())
 		j.mu.Lock()
@@ -504,11 +582,12 @@ func (s *Scheduler) worker() {
 		j.cancel = cancel
 		j.emitLocked()
 		j.mu.Unlock()
+		s.journal.jobStarted(j.Key)
 		method := methodLabel(j)
 		s.metrics.queueWait.With(method).Observe(j.started.Sub(j.Created).Seconds())
 		s.metrics.running.Inc()
 		s.log.Info("engine: job started",
-			"trace", j.TraceID, "job", j.ID, "method", method,
+			"trace", j.TraceID, "job", j.ID, "tenant", j.Tenant, "method", method,
 			"queue_sec", j.started.Sub(j.Created).Seconds())
 
 		res, err := j.run(ctx, j)
@@ -528,7 +607,12 @@ func (s *Scheduler) worker() {
 		j.mu.Unlock()
 		s.metrics.running.Dec()
 		s.metrics.runSeconds.With(method).Observe(runSec)
-		s.metrics.jobsCompleted.With(string(state)).Inc()
+		s.metrics.jobsCompleted.With(string(state), j.Tenant).Inc()
+		// Drain cancellations stay live in the journal so the job
+		// re-enqueues on the next boot; every other outcome is terminal.
+		if !(state == StateCancelled && s.isClosed()) {
+			s.journal.jobDone(j.Key, state)
+		}
 		if err != nil {
 			s.log.Warn("engine: job finished",
 				"trace", j.TraceID, "job", j.ID, "method", method, "state", state,

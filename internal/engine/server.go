@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,25 +30,50 @@ import (
 //	POST   /v1/jobs/{id}/cancel     cancel a job
 //	DELETE /v1/jobs/{id}            cancel a job
 //	POST   /v1/sweeps               submit a parameter grid ({"sweep":…,"priority":n,"wait":bool})
+//	GET    /v1/sweeps               list sweeps, newest first (?state=…&limit=…&after=…)
 //	GET    /v1/sweeps/{id}          sweep status: aggregate counts + per-job views
 //	GET    /v1/sweeps/{id}/events   merged progress of all sweep jobs as SSE
 //	POST   /v1/sweeps/{id}/cancel   cancel every solely-owned sweep job
 //	DELETE /v1/sweeps/{id}          cancel every solely-owned sweep job
 //
 // Errors are a structured envelope {"error":{"code","message"}} (codes
-// below); the flat text is mirrored at the top-level "message" field for
-// one release, for clients of the v1 string-only envelope.
+// below).
+//
+// With WithTenants configured, every route except the health probes
+// requires `Authorization: Bearer <api-key>` (401 otherwise) and is
+// admission-controlled per tenant: a drained token bucket answers 429
+// with a Retry-After header, and a full queue quota answers 429 with
+// code "quota_exceeded".
 type Server struct {
 	engine  *Engine
 	mux     *http.ServeMux
 	metrics *serverMetrics
+	tenants *Tenants // nil = auth off: every request is the anonymous tenant
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithTenants enables API-key authentication, per-tenant rate limits,
+// and queue quotas from the given registry (see LoadTenantsFile). The
+// registry is also installed on the engine so quotas apply at submit.
+func WithTenants(t *Tenants) ServerOption {
+	return func(s *Server) {
+		s.tenants = t
+		s.engine.SetTenants(t)
+	}
 }
 
 // NewServer wraps an Engine in the HTTP API.
-func NewServer(e *Engine) *Server {
+func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux(), metrics: newServerMetrics(e.metrics.reg)}
-	s.handle("GET /healthz", s.handleHealth)
-	s.handle("GET /v1/healthz", s.handleHealthz)
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Health probes stay unauthenticated: load balancers and liveness
+	// checks do not carry API keys.
+	s.handleOpen("GET /healthz", s.handleHealth)
+	s.handleOpen("GET /v1/healthz", s.handleHealthz)
 	s.handle("GET /v1/stats", s.handleStats)
 	s.handle("POST /v1/jobs", s.handleSubmit)
 	s.handle("GET /v1/jobs", s.handleList)
@@ -58,6 +84,7 @@ func NewServer(e *Engine) *Server {
 	s.handle("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
+	s.handle("GET /v1/sweeps", s.handleSweepList)
 	s.handle("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.handle("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.handle("POST /v1/sweeps/{id}/cancel", s.handleSweepCancel)
@@ -65,20 +92,93 @@ func NewServer(e *Engine) *Server {
 	return s
 }
 
-// handle registers a route with the request counter and latency
-// histogram wrapped around it. Series are labeled by the registered
-// route pattern, never the raw URL: label cardinality must stay bounded
-// no matter what paths clients probe (unmatched paths fall through to
-// the mux's own 404 and are deliberately not counted).
-func (s *Server) handle(pattern string, h http.HandlerFunc) {
+// tenantKey carries the authenticated tenant through the request
+// context.
+type tenantKey struct{}
+
+// tenantFrom resolves the request's authenticated tenant (anonymous
+// when auth is off).
+func tenantFrom(r *http.Request) string {
+	if t, ok := r.Context().Value(tenantKey{}).(string); ok && t != "" {
+		return t
+	}
+	return AnonymousTenant
+}
+
+// handle registers an authenticated route; handleOpen an
+// unauthenticated one. Both wrap the request counter and latency
+// histogram around the handler. Series are labeled by the registered
+// route pattern and the authenticated tenant, never raw URLs or raw
+// keys: label cardinality must stay bounded no matter what clients
+// probe with (unmatched paths fall through to the mux's own 404 and are
+// deliberately not counted).
+func (s *Server) handle(pattern string, h http.HandlerFunc)     { s.register(pattern, h, true) }
+func (s *Server) handleOpen(pattern string, h http.HandlerFunc) { s.register(pattern, h, false) }
+
+func (s *Server) register(pattern string, h http.HandlerFunc, authed bool) {
 	latency := s.metrics.latency.With(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		tenant := AnonymousTenant
+		admitted := true
+		if authed && s.tenants != nil {
+			tenant, admitted = s.admit(rec, r)
+		}
+		if admitted {
+			r = r.WithContext(context.WithValue(r.Context(), tenantKey{}, tenant))
+			h(rec, r)
+		}
 		latency.Observe(time.Since(start).Seconds())
-		s.metrics.requests.With(pattern, strconv.Itoa(rec.status)).Inc()
+		s.metrics.requests.With(pattern, strconv.Itoa(rec.status), tenant).Inc()
 	})
+}
+
+// admit authenticates and rate-limits a request, writing the 401/429
+// response itself on refusal. The returned tenant is what the metrics
+// label records either way ("unauthenticated" for failed auth, so bad
+// keys cannot mint label series).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (tenant string, ok bool) {
+	key, ok := bearerToken(r)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, ErrCodeUnauthorized,
+			"missing API key: send Authorization: Bearer <key>")
+		return UnauthenticatedTenant, false
+	}
+	name, ok := s.tenants.Authenticate(key)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, ErrCodeUnauthorized, "unrecognized API key")
+		return UnauthenticatedTenant, false
+	}
+	if allowed, retryAfter := s.tenants.Allow(name); !allowed {
+		s.metrics.rateLimited.With(name).Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+		writeError(w, http.StatusTooManyRequests, ErrCodeRateLimited,
+			fmt.Sprintf("tenant %q is over its request rate; retry after the Retry-After delay", name))
+		return name, false
+	}
+	return name, true
+}
+
+// bearerToken extracts the Authorization: Bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(auth[len(prefix):]), true
+}
+
+// retryAfterSeconds renders a wait as the Retry-After header value:
+// integral seconds, rounded up, minimum 1 (a zero would invite an
+// immediate retry of the request that was just refused).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // statusRecorder captures the response status for the request counter.
@@ -152,6 +252,14 @@ const (
 	ErrCodeUnavailable = "unavailable"
 	// ErrCodeStreamUnsupported: the connection cannot carry SSE.
 	ErrCodeStreamUnsupported = "stream_unsupported"
+	// ErrCodeUnauthorized: missing or unrecognized API key (HTTP 401).
+	ErrCodeUnauthorized = "unauthorized"
+	// ErrCodeRateLimited: the tenant's request token bucket is drained
+	// (HTTP 429) — honor the Retry-After header before retrying.
+	ErrCodeRateLimited = "rate_limited"
+	// ErrCodeQuotaExceeded: the tenant already has its quota of jobs
+	// queued (HTTP 429) — retry after some drain.
+	ErrCodeQuotaExceeded = "quota_exceeded"
 )
 
 // APIError is the machine-readable error of the v2 envelope.
@@ -160,13 +268,11 @@ type APIError struct {
 	Message string `json:"message"`
 }
 
-// errorEnvelope is the error response body. Message mirrors
-// Error.Message at the top level: the v1 API reported errors as one
-// flat string, and the duplicate keeps text-only clients working for
-// one release.
+// errorEnvelope is the error response body. (The v1 flat top-level
+// "message" mirror was carried for one release after the v2 envelope
+// landed and is now gone: the structured object is the only shape.)
 type errorEnvelope struct {
-	Err     APIError `json:"error"`
-	Message string   `json:"message"`
+	Err APIError `json:"error"`
 }
 
 // maxBodyBytes caps submit bodies; a full sweep grid is a few KB, so
@@ -218,6 +324,9 @@ type JobView struct {
 	// TraceID correlates the job with its submission's log lines and SSE
 	// events (adopted from the submit's X-Request-ID or minted).
 	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the authenticated tenant that first submitted the job
+	// ("anonymous" when auth is off).
+	Tenant string `json:"tenant,omitempty"`
 	// Timing is the phase wall-clock breakdown (queued / running /
 	// persisting); phases that have not happened read zero.
 	Timing *JobTiming `json:"timing,omitempty"`
@@ -232,18 +341,50 @@ type SweepView struct {
 	ID string `json:"id"`
 	// TraceID is the sweep's batch trace; cell jobs derive theirs from it
 	// ("<trace>-cN").
-	TraceID string      `json:"trace_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Tenant is the authenticated tenant that submitted the sweep
+	// ("anonymous" when auth is off).
+	Tenant  string      `json:"tenant,omitempty"`
 	Created time.Time   `json:"created"`
 	Counts  BatchCounts `json:"counts"`
+	// State summarizes the batch: "running" until every job is terminal,
+	// then "failed" if any job failed, "cancelled" if any was cancelled,
+	// else "done" (the ?state= filter of GET /v1/sweeps matches it).
+	State State `json:"state"`
 	// Done reports whether every sweep job is terminal.
 	Done bool `json:"done"`
 	// Jobs views the batch's distinct jobs in first-appearance order.
 	Jobs []JobView `json:"jobs"`
 }
 
+// batchState summarizes a batch's aggregate counts as one lifecycle
+// state, for listing filters and the wire view.
+func batchState(c BatchCounts) State {
+	switch {
+	case !c.Terminal():
+		return StateRunning
+	case c.Failed > 0:
+		return StateFailed
+	case c.Cancelled > 0:
+		return StateCancelled
+	default:
+		return StateDone
+	}
+}
+
 // JobList is the GET /v1/jobs response page.
 type JobList struct {
 	Jobs []JobView `json:"jobs"`
+	// Next is the cursor for the following page (pass as ?after=…);
+	// empty when this page exhausts the listing.
+	Next string `json:"next,omitempty"`
+}
+
+// SweepList is the GET /v1/sweeps response page. Sweeps are listed
+// without per-job views (fetch GET /v1/sweeps/{id} for those): a page
+// of 4096-cell sweeps must stay cheap to serve and read.
+type SweepList struct {
+	Sweeps []SweepView `json:"sweeps"`
 	// Next is the cursor for the following page (pass as ?after=…);
 	// empty when this page exhausts the listing.
 	Next string `json:"next,omitempty"`
@@ -263,6 +404,7 @@ func (s *Server) view(j *Job, withResult bool) JobView {
 		Rounds:   j.rounds,
 		Created:  j.Created,
 		TraceID:  j.TraceID,
+		Tenant:   j.Tenant,
 	}
 	tm := j.timingLocked()
 	v.Timing = &tm
@@ -292,8 +434,10 @@ func (s *Server) sweepView(b *Batch, withResults bool) SweepView {
 	v := SweepView{
 		ID:      b.ID,
 		TraceID: b.TraceID,
+		Tenant:  b.Tenant,
 		Created: b.Created,
 		Counts:  counts,
+		State:   batchState(counts),
 		Done:    counts.Terminal(),
 		Jobs:    make([]JobView, 0, len(b.Unique())),
 	}
@@ -310,7 +454,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, errorEnvelope{Err: APIError{Code: code, Message: msg}, Message: msg})
+	writeJSON(w, status, errorEnvelope{Err: APIError{Code: code, Message: msg}})
 }
 
 // decodeBody reads a JSON request body with the size cap and strict
@@ -333,11 +477,20 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // writeSubmitError maps a Submit/SubmitSweep failure to the wire. A
-// draining engine is a transient 503, not the caller's fault; anything
-// else is a spec or sweep the engine rejected.
+// draining engine is a transient 503 and a full queue quota a transient
+// 429 — neither is the caller's fault; anything else is a spec or sweep
+// the engine rejected.
 func writeSubmitError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrClosed) {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, err.Error())
+		return
+	}
+	var qerr *QuotaError
+	if errors.As(err, &qerr) {
+		// Quota headroom opens as queued jobs drain, on job — not token —
+		// timescales; a few seconds is an honest lower bound.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, ErrCodeQuotaExceeded, err.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, ErrCodeInvalidSpec, err.Error())
@@ -382,7 +535,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Adopt the client's X-Request-ID as the job's trace when it passes
 	// validation (minted otherwise), and echo the winning ID back so the
 	// client can grep server logs for it either way.
-	j, err := s.engine.SubmitTraced(req.Spec, req.Priority, r.Header.Get("X-Request-ID"))
+	j, err := s.engine.SubmitAs(req.Spec, req.Priority, r.Header.Get("X-Request-ID"), tenantFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -405,7 +558,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Sweep.Base.Parallelism = req.Parallelism
-	b, err := s.engine.SubmitSweepTraced(req.Sweep, req.Priority, r.Header.Get("X-Request-ID"))
+	b, err := s.engine.SubmitSweepAs(req.Sweep, req.Priority, r.Header.Get("X-Request-ID"), tenantFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -422,60 +575,115 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.sweepView(b, false))
 }
 
-// handleList pages through the job registry, newest first. ?state=
-// filters by lifecycle state, ?limit= caps the page size, and ?after=
-// resumes below a previous page's last job ID (the JobList.Next
-// cursor). The cursor survives job-history eviction: IDs are ordinal,
-// so "after job-17" simply means "jobs older than the 17th".
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// listQuery is the parsed ?state/?limit/?after triple shared by the job
+// and sweep listings. Cursors are ordinal IDs ("<kind>-N"), so they
+// survive history eviction: "after job-17" simply means "older than the
+// 17th".
+type listQuery struct {
+	state    State
+	limit    int
+	afterSeq int64
+}
+
+// parseListQuery reads the listing params, writing the error response
+// itself on failure. idPrefix is the cursor's ID prefix ("job-" or
+// "sweep-").
+func parseListQuery(w http.ResponseWriter, r *http.Request, idPrefix string) (listQuery, bool) {
 	q := r.URL.Query()
-	var stateFilter State
+	lq := listQuery{afterSeq: -1}
 	if v := q.Get("state"); v != "" {
 		switch st := State(v); st {
 		case StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
-			stateFilter = st
+			lq.state = st
 		default:
 			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
 				fmt.Sprintf("unknown state %q (want queued|running|done|failed|cancelled)", v))
-			return
+			return lq, false
 		}
 	}
-	limit := 0
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
 			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "limit must be a positive integer")
-			return
+			return lq, false
 		}
-		limit = n
+		lq.limit = n
 	}
-	afterSeq := int64(-1)
 	if v := q.Get("after"); v != "" {
-		n, err := strconv.ParseInt(strings.TrimPrefix(v, "job-"), 10, 64)
+		n, err := strconv.ParseInt(strings.TrimPrefix(v, idPrefix), 10, 64)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "after must be a job ID (job-N)")
-			return
+			writeError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Sprintf("after must be an ID (%sN)", idPrefix))
+			return lq, false
 		}
-		afterSeq = n
+		lq.afterSeq = n
+	}
+	return lq, true
+}
+
+// beforeCursor reports whether an ordinal ID ("<prefix>N") is older
+// than the cursor (always true with no cursor set).
+func (lq listQuery) beforeCursor(id, idPrefix string) bool {
+	if lq.afterSeq < 0 {
+		return true
+	}
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, idPrefix), 10, 64)
+	return err == nil && n < lq.afterSeq
+}
+
+// handleList pages through the job registry, newest first. ?state=
+// filters by lifecycle state, ?limit= caps the page size, and ?after=
+// resumes below a previous page's last job ID (the JobList.Next
+// cursor).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	lq, ok := parseListQuery(w, r, "job-")
+	if !ok {
+		return
 	}
 	jobs := s.engine.Jobs() // newest first
 	list := JobList{Jobs: []JobView{}}
 	for _, j := range jobs {
-		if afterSeq >= 0 {
-			n, err := strconv.ParseInt(strings.TrimPrefix(j.ID, "job-"), 10, 64)
-			if err != nil || n >= afterSeq {
-				continue
-			}
-		}
-		if stateFilter != "" && j.State() != stateFilter {
+		if !lq.beforeCursor(j.ID, "job-") {
 			continue
 		}
-		if limit > 0 && len(list.Jobs) == limit {
+		if lq.state != "" && j.State() != lq.state {
+			continue
+		}
+		if lq.limit > 0 && len(list.Jobs) == lq.limit {
 			// One past the page: there is more, so hand out a cursor.
 			list.Next = list.Jobs[len(list.Jobs)-1].ID
 			break
 		}
 		list.Jobs = append(list.Jobs, s.view(j, false))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleSweepList pages through the sweep registry, newest first, with
+// the same ?state/?limit/?after semantics as the job listing (?state=
+// matches the batch's aggregate state, see SweepView.State; "queued"
+// matches nothing — a sweep with any cell pending summarizes as
+// running).
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	lq, ok := parseListQuery(w, r, "sweep-")
+	if !ok {
+		return
+	}
+	list := SweepList{Sweeps: []SweepView{}}
+	for _, b := range s.engine.Batches() { // newest first
+		if !lq.beforeCursor(b.ID, "sweep-") {
+			continue
+		}
+		v := s.sweepView(b, false)
+		v.Jobs = nil // listings stay light; per-job views are GET /v1/sweeps/{id}
+		if lq.state != "" && v.State != lq.state {
+			continue
+		}
+		if lq.limit > 0 && len(list.Sweeps) == lq.limit {
+			list.Next = list.Sweeps[len(list.Sweeps)-1].ID
+			break
+		}
+		list.Sweeps = append(list.Sweeps, v)
 	}
 	writeJSON(w, http.StatusOK, list)
 }

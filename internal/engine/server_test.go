@@ -187,14 +187,12 @@ func TestServeValidationAndErrors(t *testing.T) {
 	bad.Dataset = "CIFAR"
 	var apiErr struct {
 		Error APIError `json:"error"`
-		// Message is the legacy flat text, mirrored for one release.
-		Message string `json:"message"`
 	}
 	if code := postJSON(t, client, srv.URL+"/v1/jobs", SubmitRequest{Spec: bad}, &apiErr); code != http.StatusBadRequest {
 		t.Fatalf("invalid spec = %d (%+v)", code, apiErr)
 	}
-	if apiErr.Error.Code != ErrCodeInvalidSpec || apiErr.Error.Message == "" || apiErr.Message != apiErr.Error.Message {
-		t.Fatalf("error envelope = %+v, want invalid_spec with mirrored legacy message", apiErr)
+	if apiErr.Error.Code != ErrCodeInvalidSpec || apiErr.Error.Message == "" {
+		t.Fatalf("error envelope = %+v, want structured invalid_spec", apiErr)
 	}
 	if code := getJSON(t, client, srv.URL+"/v1/jobs/job-404", nil); code != http.StatusNotFound {
 		t.Fatalf("unknown job status = %d", code)

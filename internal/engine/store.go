@@ -350,6 +350,11 @@ func (s *Store) enforceCap(keep string) {
 		if strings.HasSuffix(e.Name(), ".tmp") {
 			continue
 		}
+		// The write-ahead job journal shares the cache dir but is not
+		// cache: evicting it would lose the queue on the next restart.
+		if e.Name() == journalFileName {
+			continue
+		}
 		info, err := e.Info()
 		if err != nil {
 			continue

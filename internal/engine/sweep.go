@@ -181,6 +181,9 @@ type Batch struct {
 	// fresh cell job's trace is "<TraceID>-cN", so one prefix-grep over
 	// the server log follows the whole grid.
 	TraceID string
+	// Tenant attributes the sweep to the authenticated tenant that
+	// submitted it ("anonymous" when auth is off).
+	Tenant string
 	// Created is the submission time.
 	Created time.Time
 

@@ -232,11 +232,11 @@ func TestMetricsEndpointEndToEnd(t *testing.T) {
 	}
 	body := string(raw)
 	for _, want := range []string{
-		`engine_jobs_submitted_total 1`,
-		`engine_jobs_completed_total{state="done"} 1`,
+		`engine_jobs_submitted_total{tenant="anonymous"} 1`,
+		`engine_jobs_completed_total{state="done",tenant="anonymous"} 1`,
 		`engine_rounds_total 2`,
 		`store_misses_total 1`,
-		`http_requests_total{route="POST /v1/jobs",code="200"} 1`,
+		`http_requests_total{route="POST /v1/jobs",code="200",tenant="anonymous"} 1`,
 		`sched_run_seconds_bucket{method="FedAvg",le="+Inf"} 1`,
 	} {
 		if !strings.Contains(body, want) {

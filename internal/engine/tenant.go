@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AnonymousTenant is the tenant every submission belongs to when no
+// API-key file is configured (auth off). It exists so the fair-share
+// scheduler, quotas, and metrics labels have a uniform tenant dimension
+// whether or not authentication is enabled.
+const AnonymousTenant = "anonymous"
+
+// UnauthenticatedTenant labels HTTP metrics for requests that failed
+// (or never attempted) authentication, keeping the tenant label
+// dimension bounded no matter what keys clients probe with.
+const UnauthenticatedTenant = "unauthenticated"
+
+// TenantConfig is one named tenant of the `-api-keys` file: an API key
+// plus that tenant's rate limit and queue quota. Zero-valued limits
+// inherit the file's defaults; a negative value means unlimited.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics labels, log lines, and job
+	// views. Required, and unique within the file.
+	Name string `json:"name"`
+	// Key is the bearer token the tenant authenticates with. Required,
+	// at least 8 characters, and unique within the file.
+	Key string `json:"key"`
+	// RatePerSec refills the tenant's request token bucket (0 inherits
+	// the file default, negative = unlimited).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (0 inherits, negative = unlimited).
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued caps the tenant's jobs waiting in the scheduler queue
+	// (0 inherits, negative = unlimited). Cache hits and coalesced
+	// submissions never consume quota — they enqueue nothing.
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// TenantsFile is the JSON document `-api-keys` points at.
+type TenantsFile struct {
+	// Tenants lists the named tenants and their keys.
+	Tenants []TenantConfig `json:"tenants"`
+	// DefaultRatePerSec / DefaultBurst / DefaultMaxQueued apply to
+	// tenants that leave the corresponding field zero. File-level zeros
+	// fall back to the built-in defaults below.
+	DefaultRatePerSec float64 `json:"default_rate_per_sec,omitempty"`
+	DefaultBurst      int     `json:"default_burst,omitempty"`
+	DefaultMaxQueued  int     `json:"default_max_queued,omitempty"`
+}
+
+// Built-in tenant limits, used when neither the tenant nor the file
+// sets them. Generous enough for interactive use, tight enough that a
+// runaway client cannot monopolize the server.
+const (
+	defaultRatePerSec = 50.0
+	defaultBurst      = 100
+	defaultMaxQueued  = 1024
+)
+
+// tenantState is the runtime state of one tenant: the key hash it
+// authenticates against and its token bucket.
+type tenantState struct {
+	name      string
+	keyHash   [sha256.Size]byte
+	maxQueued int // <=0 = unlimited
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <=0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// allow takes one token from the tenant's bucket. When the bucket is
+// empty it returns false and how long until a token is available —
+// the Retry-After the HTTP layer surfaces with the 429.
+func (t *tenantState) allow(now time.Time) (bool, time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last.IsZero() {
+		t.tokens = t.burst
+	} else {
+		t.tokens = math.Min(t.burst, t.tokens+now.Sub(t.last).Seconds()*t.rate)
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - t.tokens) / t.rate * float64(time.Second))
+	return false, wait
+}
+
+// Tenants is the authentication and admission registry `feddg serve
+// -api-keys` builds: named tenants with API keys, per-tenant token
+// buckets, and queue quotas. A nil *Tenants (auth off) admits every
+// request as the anonymous tenant with no limits. Safe for concurrent
+// use after construction.
+type Tenants struct {
+	list []*tenantState
+}
+
+// NewTenants builds the registry from a parsed file, validating names
+// and keys.
+func NewTenants(file TenantsFile) (*Tenants, error) {
+	if len(file.Tenants) == 0 {
+		return nil, fmt.Errorf("engine: api-keys file names no tenants")
+	}
+	defRate := file.DefaultRatePerSec
+	if defRate == 0 {
+		defRate = defaultRatePerSec
+	}
+	defBurst := file.DefaultBurst
+	if defBurst == 0 {
+		defBurst = defaultBurst
+	}
+	defQueued := file.DefaultMaxQueued
+	if defQueued == 0 {
+		defQueued = defaultMaxQueued
+	}
+	ts := &Tenants{}
+	names := map[string]bool{}
+	keys := map[[sha256.Size]byte]bool{}
+	for i, tc := range file.Tenants {
+		name := strings.TrimSpace(tc.Name)
+		if name == "" {
+			return nil, fmt.Errorf("engine: api-keys tenant %d has no name", i)
+		}
+		if name == AnonymousTenant || name == UnauthenticatedTenant {
+			return nil, fmt.Errorf("engine: tenant name %q is reserved", name)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("engine: duplicate tenant name %q", name)
+		}
+		names[name] = true
+		if len(tc.Key) < 8 {
+			return nil, fmt.Errorf("engine: tenant %q key is too short (min 8 chars)", name)
+		}
+		hash := sha256.Sum256([]byte(tc.Key))
+		if keys[hash] {
+			return nil, fmt.Errorf("engine: tenant %q reuses another tenant's key", name)
+		}
+		keys[hash] = true
+		rate := tc.RatePerSec
+		if rate == 0 {
+			rate = defRate
+		}
+		burst := tc.Burst
+		if burst == 0 {
+			burst = defBurst
+		}
+		maxQ := tc.MaxQueued
+		if maxQ == 0 {
+			maxQ = defQueued
+		}
+		ts.list = append(ts.list, &tenantState{
+			name:      name,
+			keyHash:   hash,
+			maxQueued: maxQ,
+			rate:      rate,
+			burst:     float64(burst),
+		})
+	}
+	return ts, nil
+}
+
+// LoadTenantsFile reads and validates a `-api-keys` JSON file.
+func LoadTenantsFile(path string) (*Tenants, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: read api-keys file: %w", err)
+	}
+	var file TenantsFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("engine: parse api-keys file %s: %w", path, err)
+	}
+	t, err := NewTenants(file)
+	if err != nil {
+		return nil, fmt.Errorf("engine: api-keys file %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Authenticate resolves an API key to its tenant name. The comparison
+// walks every tenant and uses constant-time equality over SHA-256 key
+// digests, so neither the number of matching prefix bytes nor the
+// position of the matching tenant leaks through timing.
+func (ts *Tenants) Authenticate(key string) (string, bool) {
+	if ts == nil {
+		return AnonymousTenant, true
+	}
+	hash := sha256.Sum256([]byte(key))
+	matched := ""
+	for _, t := range ts.list {
+		if subtle.ConstantTimeCompare(hash[:], t.keyHash[:]) == 1 {
+			matched = t.name
+		}
+	}
+	return matched, matched != ""
+}
+
+// lookup finds a tenant's runtime state by name.
+func (ts *Tenants) lookup(name string) *tenantState {
+	if ts == nil {
+		return nil
+	}
+	for _, t := range ts.list {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Allow takes one request token from the tenant's rate bucket,
+// reporting the Retry-After on refusal. Unknown tenants (and a nil
+// registry) are unlimited.
+func (ts *Tenants) Allow(name string) (bool, time.Duration) {
+	t := ts.lookup(name)
+	if t == nil {
+		return true, 0
+	}
+	return t.allow(time.Now())
+}
+
+// MaxQueued returns the tenant's scheduler-queue quota (0 = unlimited).
+func (ts *Tenants) MaxQueued(name string) int {
+	t := ts.lookup(name)
+	if t == nil || t.maxQueued <= 0 {
+		return 0
+	}
+	return t.maxQueued
+}
+
+// Names lists the configured tenant names (metrics pre-registration,
+// logs).
+func (ts *Tenants) Names() []string {
+	if ts == nil {
+		return nil
+	}
+	out := make([]string, 0, len(ts.list))
+	for _, t := range ts.list {
+		out = append(out, t.name)
+	}
+	return out
+}
+
+// QuotaError reports a submission refused because the tenant already
+// has MaxQueued jobs waiting. It is an admission-control condition, not
+// a fault of the Spec: the HTTP layer maps it to 429 with Retry-After.
+type QuotaError struct {
+	Tenant string
+	Limit  int
+}
+
+// Error implements the error interface.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("engine: tenant %q has %d jobs queued (quota); retry after some drain", e.Tenant, e.Limit)
+}
