@@ -10,6 +10,7 @@
 package pardon_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -488,11 +489,63 @@ func BenchmarkModelTrainStepReuse(b *testing.B) {
 	}
 }
 
+// --- Gen-2 micro-kernel sweep: the three blocked products at three
+// square sizes and both compute dtypes. Sub-benchmark names are stable
+// (MicroKernels/<op>/<dtype>/<size>) because the CI bench-compare step
+// parses them out of consecutive BENCH artifacts; rename them only
+// together with scripts/benchcmp.go. ---
+
+func BenchmarkMicroKernels(b *testing.B) {
+	products := []struct {
+		name string
+		f64  func(out, a, bm *tensor.Tensor) error
+		f32  func(out, a, bm []float32, s int)
+	}{
+		{"MatMul", tensor.MatMulInto,
+			func(out, a, bm []float32, s int) { tensor.MatMulF32(out, a, bm, s, s, s) }},
+		{"ATB", tensor.MatMulATBInto,
+			func(out, a, bm []float32, s int) { tensor.MatMulATBF32(out, a, bm, s, s, s) }},
+		{"ABT", tensor.MatMulABTInto,
+			func(out, a, bm []float32, s int) { tensor.MatMulABTF32(out, a, bm, s, s, s) }},
+	}
+	for _, p := range products {
+		for _, size := range []int{64, 256, 1024} {
+			a, bm := benchKernelOperands(30, 31, size, size, size)
+			out := tensor.New(size, size)
+			// 2·m·k·n flops per product; reported so ns/op comparisons
+			// across sizes reduce to a flop rate.
+			flops := int64(2) * int64(size) * int64(size) * int64(size)
+			b.Run(fmt.Sprintf("%s/f64/%d", p.name, size), func(b *testing.B) {
+				b.SetBytes(flops)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := p.f64(out, a, bm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			a32 := make([]float32, size*size)
+			b32 := make([]float32, size*size)
+			o32 := make([]float32, size*size)
+			tensor.NarrowInto(a32, a.Data())
+			tensor.NarrowInto(b32, bm.Data())
+			b.Run(fmt.Sprintf("%s/f32/%d", p.name, size), func(b *testing.B) {
+				b.SetBytes(flops)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p.f32(o32, a32, b32, size)
+				}
+			})
+		}
+	}
+}
+
 // --- Round-throughput macro-benchmark: one full federated round (client
 // sampling, parallel local training, aggregation) through the kernel
 // layer, the unit of work behind every table and figure ---
 
-func BenchmarkRoundThroughput(b *testing.B) {
+func benchRoundThroughput(b *testing.B, prec nn.Precision) {
+	b.Helper()
 	eng, err := engine.New(engine.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -515,8 +568,15 @@ func BenchmarkRoundThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := fl.Run(sc.Env, alg, sc.Clients, nil, nil,
-			fl.RunConfig{Rounds: 1, SampleK: spec.SampleK}); err != nil {
+			fl.RunConfig{Rounds: 1, SampleK: spec.SampleK, Precision: prec}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkRoundThroughput(b *testing.B) { benchRoundThroughput(b, nn.F64) }
+
+// BenchmarkRoundThroughputF32 is the same round on the float32 compute
+// path (float64 master weights, float32 matmuls); the BENCH artifact
+// records both so every SHA carries its own f64-vs-f32 delta.
+func BenchmarkRoundThroughputF32(b *testing.B) { benchRoundThroughput(b, nn.F32) }

@@ -186,6 +186,7 @@ func serve(args []string) error {
 		cacheMaxFlag = fs.Int64("cache-max-bytes", 0, "disk-cache size cap in bytes, LRU-by-mtime eviction (0 = unbounded)")
 		workersFlag  = fs.Int("workers", 0, "engine worker-pool size (0 = NumCPU/2)")
 		parFlag      = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
+		precFlag     = fs.String("precision", "", "default compute dtype (f64|f32) for specs that don't set one; part of each job's identity, unlike -parallelism")
 		apiKeysFlag  = fs.String("api-keys", "", "tenant API-key JSON file; when set the API requires Authorization: Bearer and applies per-tenant rate limits and queue quotas")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -208,7 +209,7 @@ func serve(args []string) error {
 	// The engine logs through slog.Default(); a text handler at the
 	// chosen threshold makes every line grep-able by trace ID.
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
-	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag})
+	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag, Precision: *precFlag})
 	if err != nil {
 		return err
 	}
@@ -342,6 +343,7 @@ func submitCmd(args []string) error {
 		waitFlag = fs.Bool("wait", false, "block until the job is terminal and print its result")
 		prioFlag = fs.Int("priority", 0, "queue priority (higher runs first)")
 		parFlag  = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = server default)")
+		precFlag = fs.String("precision", "", "compute dtype override (f64|f32); empty keeps the spec's own setting")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -353,6 +355,9 @@ func submitCmd(args []string) error {
 	var spec client.Spec
 	if err := readJSONArg(*specFlag, &spec); err != nil {
 		return fmt.Errorf("read spec: %w", err)
+	}
+	if *precFlag != "" {
+		spec.Precision = *precFlag
 	}
 	ctx := context.Background()
 	c := rf.newClient()
@@ -388,6 +393,7 @@ func sweepCmd(args []string) error {
 		watchFlag = fs.Bool("watch", false, "stream live per-round progress while waiting (implies -wait)")
 		prioFlag  = fs.Int("priority", 0, "queue priority (higher runs first)")
 		parFlag   = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = server default)")
+		precsFlag = fs.String("precisions", "", "comma-separated precision axis (e.g. f64,f32) overriding the sweep's own")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -399,6 +405,9 @@ func sweepCmd(args []string) error {
 	var sw client.Sweep
 	if err := readJSONArg(*sweepFlag, &sw); err != nil {
 		return fmt.Errorf("read sweep: %w", err)
+	}
+	if *precsFlag != "" {
+		sw.Precisions = strings.Split(*precsFlag, ",")
 	}
 	ctx := context.Background()
 	c := rf.newClient()

@@ -23,12 +23,18 @@ func trainCE(env *fl.Env, c *fl.Client, global *nn.Model, round int, name string
 	model := global.Clone()
 	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
 	grads := model.NewGrads()
+	// Gradients and optimizer state are strictly local to this pass;
+	// recycle their arenas for the next client.
+	defer grads.Release()
+	defer opt.Release()
 	r := env.RNG.Stream(name, "train", strconv.Itoa(c.ID), strconv.Itoa(round))
+	// One activation set serves every batch; only a ragged final batch
+	// resizes it.
+	acts := &nn.Activations{}
 	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
 		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
 			x, y := c.Batch(idx)
-			acts, err := model.Forward(x)
-			if err != nil {
+			if err := model.ForwardInto(acts, x); err != nil {
 				return nil, err
 			}
 			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)

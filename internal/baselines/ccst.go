@@ -125,6 +125,8 @@ func (c *CCST) LocalTrain(env *fl.Env, cl *fl.Client, global *nn.Model, round in
 	model := global.Clone()
 	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
 	grads := model.NewGrads()
+	defer grads.Release()
+	defer opt.Release()
 	r := env.RNG.Stream("CCST", "train", strconv.Itoa(cl.ID), strconv.Itoa(round))
 
 	c.mu.RLock()
@@ -139,11 +141,12 @@ func (c *CCST) LocalTrain(env *fl.Env, cl *fl.Client, global *nn.Model, round in
 	}
 
 	in := env.InputDim()
+	acts := &nn.Activations{}
+	actsP := &nn.Activations{}
 	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
 		for _, idx := range fl.Batches(cl.Data.Len(), env.Hyper.BatchSize, r) {
 			x, y := cl.Batch(idx)
-			acts, err := model.Forward(x)
-			if err != nil {
+			if err := model.ForwardInto(acts, x); err != nil {
 				return nil, err
 			}
 			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)
@@ -167,8 +170,7 @@ func (c *CCST) LocalTrain(env *fl.Env, cl *fl.Client, global *nn.Model, round in
 					copy(row, tf.Data())
 					env.NormalizeFeature(row)
 				}
-				actsP, err := model.Forward(xp)
-				if err != nil {
+				if err := model.ForwardInto(actsP, xp); err != nil {
 					return nil, err
 				}
 				_, dLogitsP, err := loss.CrossEntropy(actsP.Logits, y)

@@ -57,6 +57,8 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 	// so the collapse stays a modelling failure, never a numeric one.
 	opt.Clip = 5
 	grads := model.NewGrads()
+	defer grads.Release()
+	defer opt.Release()
 	r := env.RNG.Stream("FedSR", "train", strconv.Itoa(c.ID), strconv.Itoa(round))
 
 	// Class-conditional reference means from the client's local data,
@@ -66,11 +68,11 @@ func (f *FedSR) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round in
 		return nil, err
 	}
 
+	acts := &nn.Activations{}
 	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
 		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
 			x, y := c.Batch(idx)
-			acts, err := model.Forward(x)
-			if err != nil {
+			if err := model.ForwardInto(acts, x); err != nil {
 				return nil, err
 			}
 			// Probabilistic representation: z̃ = z + ε. The noise enters

@@ -67,17 +67,19 @@ func (f *FPL) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round int)
 	model := global.Clone()
 	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
 	grads := model.NewGrads()
+	defer grads.Release()
+	defer opt.Release()
 	r := env.RNG.Stream("FPL", "train", strconv.Itoa(c.ID), strconv.Itoa(round))
 
 	f.mu.RLock()
 	protos := f.protos
 	f.mu.RUnlock()
 
+	acts := &nn.Activations{}
 	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
 		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
 			x, y := c.Batch(idx)
-			acts, err := model.Forward(x)
-			if err != nil {
+			if err := model.ForwardInto(acts, x); err != nil {
 				return nil, err
 			}
 			_, dLogits, err := loss.CrossEntropy(acts.Logits, y)

@@ -357,6 +357,8 @@ func (p *PARDON) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round i
 	model := global.Clone()
 	opt := nn.NewSGD(env.Hyper.LR, env.Hyper.Momentum, env.Hyper.WeightDecay)
 	grads := model.NewGrads()
+	defer grads.Release()
+	defer opt.Release()
 
 	p.mu.RLock()
 	sg := p.interp
@@ -369,11 +371,14 @@ func (p *PARDON) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round i
 	in := c.FlatX.Dim(1)
 
 	r := env.RNG.Stream(p.Name(), "train", itoa(c.ID), itoa(round))
+	// Both views reuse one activation set each across every batch; the
+	// contrastive backward needs the two alive at once.
+	actsA := &nn.Activations{}
+	actsP := &nn.Activations{}
 	for epoch := 0; epoch < env.Hyper.LocalEpochs; epoch++ {
 		for _, idx := range fl.Batches(c.Data.Len(), env.Hyper.BatchSize, r) {
 			x, y := c.Batch(idx)
-			actsA, err := model.Forward(x)
-			if err != nil {
+			if err := model.ForwardInto(actsA, x); err != nil {
 				return nil, err
 			}
 			_, dLogits, err := loss.CrossEntropy(actsA.Logits, y)
@@ -410,8 +415,7 @@ func (p *PARDON) LocalTrain(env *fl.Env, c *fl.Client, global *nn.Model, round i
 					copy(row, tf.Data())
 					env.NormalizeFeature(row)
 				}
-				actsP, err := model.Forward(xp)
-				if err != nil {
+				if err := model.ForwardInto(actsP, xp); err != nil {
 					return nil, err
 				}
 				dzA := tensor.New(len(idx), model.Cfg.ZDim)

@@ -33,6 +33,7 @@ import (
 	"github.com/pardon-feddg/pardon/internal/baselines"
 	"github.com/pardon-feddg/pardon/internal/core"
 	"github.com/pardon-feddg/pardon/internal/fl"
+	"github.com/pardon-feddg/pardon/internal/nn"
 	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
@@ -88,6 +89,12 @@ type Options struct {
 	// means ceil(NumCPU/Workers), so a full worker pool totals about
 	// NumCPU training goroutines instead of NumCPU per job.
 	Parallelism int
+	// Precision is the engine-wide default compute dtype ("", "f64" or
+	// "f32") adopted by submitted Specs whose own Precision is empty.
+	// Resolution happens before hashing, so an engine defaulting to f32
+	// can never serve its f32-trained results under an f64 address (or
+	// vice versa).
+	Precision string
 	// ScenarioCap bounds the resident built-scenario cache (0 = 4).
 	ScenarioCap int
 	// Metrics receives the engine's instruments; nil exports on the
@@ -129,6 +136,7 @@ type Engine struct {
 	journal     *Journal // nil when CacheDir is unset (memory-only engine)
 	scenarios   *scenarioCache
 	parallelism int
+	precision   string // default Spec.Precision ("" = f64)
 	metrics     *engineMetrics
 	log         *slog.Logger
 
@@ -183,6 +191,9 @@ func New(opts Options) (*Engine, error) {
 		par = (runtime.NumCPU() + workers - 1) / workers
 	}
 	m := newEngineMetrics(reg)
+	if _, err := nn.ParsePrecision(opts.Precision); err != nil {
+		return nil, fmt.Errorf("engine: default precision: %w", err)
+	}
 	var jl *Journal
 	if opts.CacheDir != "" {
 		jl, err = openJournal(opts.CacheDir, newJournalMetrics(reg), logger)
@@ -196,6 +207,7 @@ func New(opts Options) (*Engine, error) {
 		journal:     jl,
 		scenarios:   newScenarioCache(opts.ScenarioCap),
 		parallelism: par,
+		precision:   opts.Precision,
 		metrics:     m,
 		log:         logger,
 		batches:     map[string]*Batch{},
@@ -331,7 +343,19 @@ func (e *Engine) SubmitFresh(spec Spec, priority int) (*Job, error) {
 	return e.submit(spec, priority, "", "", "", true)
 }
 
+// resolveSpec applies engine-wide defaults to a submitted Spec — today
+// just the precision: an empty Precision adopts the server default.
+// Resolution precedes hashing, so the default is part of the job's
+// identity and cached results never cross precision boundaries.
+func (e *Engine) resolveSpec(sp Spec) Spec {
+	if sp.Precision == "" {
+		sp.Precision = e.precision
+	}
+	return sp
+}
+
 func (e *Engine) submit(spec Spec, priority int, trace, tenant, sweepTrace string, fresh bool) (*Job, error) {
+	spec = e.resolveSpec(spec)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -466,6 +490,12 @@ func (e *Engine) SubmitSweepAs(sw Sweep, priority int, traceID, tenant string) (
 	specs, err := sw.Expand()
 	if err != nil {
 		return nil, err
+	}
+	// Resolve engine defaults before the dedup hashing below, so the
+	// batch's recorded specs, the dedup map, and the submitted jobs all
+	// agree on the effective precision.
+	for i := range specs {
+		specs[i] = e.resolveSpec(specs[i])
 	}
 	if tenant == "" {
 		tenant = AnonymousTenant
@@ -615,11 +645,17 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 	if err != nil {
 		return nil, err
 	}
+	// Validate guarantees the spelling parses.
+	prec, err := nn.ParsePrecision(spec.Precision)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	model, hist, err := fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{
 		Rounds:    spec.Rounds,
 		SampleK:   spec.SampleK,
 		EvalEvery: spec.EvalEvery,
+		Precision: prec,
 		// Per-job CPU bound: the spec's hint wins, else the engine-wide
 		// per-job parallelism (already in sc.Env) applies.
 		Parallelism: spec.Parallelism,

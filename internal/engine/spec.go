@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/pardon-feddg/pardon/internal/nn"
 	"github.com/pardon-feddg/pardon/internal/synth"
 )
 
@@ -16,7 +17,10 @@ import (
 //
 // v2: Spec grew the hash-affecting Hidden depth override and the engine
 // began storing model checkpoint blobs next to results.
-const CodeVersion = "pardon-engine/2"
+//
+// v3: Spec grew the hash-affecting Precision knob and the model
+// checkpoint format gained a dtype byte (PDNM v2).
+const CodeVersion = "pardon-engine/3"
 
 // SplitSpec names the train/val/test domain indices of an evaluation
 // scheme. It mirrors dataset.Split minus the free-text comment, which
@@ -85,6 +89,13 @@ type Spec struct {
 	// compute the same model (nil, [], and [defaultHiddenWidth]) are
 	// normalized before hashing, so they share one address.
 	Hidden []int
+	// Precision selects the training compute dtype: "" or "f64" (the
+	// default, normalized to "" before hashing) or "f32", which runs
+	// forward/backward through the float32 micro-kernels against float64
+	// master weights (nn/precision.go). Unlike Parallelism it perturbs
+	// the trajectory, so it IS part of the canonical encoding — f32 and
+	// f64 runs of the same experiment memoize separately.
+	Precision string
 	// Parallelism bounds the job's local-training worker pool (0 adopts
 	// the engine default). It is an execution hint, not part of the
 	// experiment: the kernels' fixed accumulation order makes results
@@ -104,10 +115,14 @@ const defaultHiddenWidth = 64
 // Spec's content-address: JSON with fields in struct declaration order
 // and no omitted fields. Equivalent Hidden spellings — nil, [], and the
 // explicit default [defaultHiddenWidth], which all build bit-identical
-// models — are normalized to nil so they cannot split the cache.
+// models — are normalized to nil so they cannot split the cache, and
+// the default precision spellings ("", "f64") are normalized to "".
 func (s Spec) Canonical() ([]byte, error) {
 	if len(s.Hidden) == 0 || (len(s.Hidden) == 1 && s.Hidden[0] == defaultHiddenWidth) {
 		s.Hidden = nil
+	}
+	if s.Precision == "f64" {
+		s.Precision = ""
 	}
 	return json.Marshal(s)
 }
@@ -181,6 +196,9 @@ func (s Spec) Validate() error {
 	if s.Parallelism < 0 {
 		return fmt.Errorf("engine: negative parallelism %d", s.Parallelism)
 	}
+	if _, err := nn.ParsePrecision(s.Precision); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	return nil
 }
 
@@ -208,6 +226,7 @@ func (s Spec) scenarioKey() (string, error) {
 	sc.SampleK = 1
 	sc.EvalEvery = 0
 	sc.KeepModel = false
+	sc.Precision = "" // compute dtype never changes the data
 	c, err := sc.Canonical()
 	if err != nil {
 		return "", err

@@ -45,9 +45,9 @@ func (s *SeedSpec) UnmarshalJSON(b []byte) error {
 // Sweep with no axes is a grid of one.
 //
 // Expansion nests the axes in a fixed, documented order (outermost
-// first): Splits, Lambdas, Clients, Hiddens, Seeds, Methods. Consumers
-// that accumulate per-cell results (internal/eval's tables) rely on
-// this order being deterministic.
+// first): Splits, Lambdas, Clients, Hiddens, Precisions, Seeds,
+// Methods. Consumers that accumulate per-cell results (internal/eval's
+// tables) rely on this order being deterministic.
 type Sweep struct {
 	// Base is the template Spec every grid cell starts from.
 	Base Spec `json:"base"`
@@ -61,6 +61,9 @@ type Sweep struct {
 	Clients []int `json:"clients,omitempty"`
 	// Hiddens replaces Base.Hidden per cell.
 	Hiddens [][]int `json:"hiddens,omitempty"`
+	// Precisions replaces Base.Precision per cell ("f64"/"f32"), so one
+	// sweep can compare compute dtypes on otherwise identical runs.
+	Precisions []string `json:"precisions,omitempty"`
 	// Seeds replaces Base.Seed (and optionally Base.GenSeed) per cell.
 	Seeds []SeedSpec `json:"seeds,omitempty"`
 }
@@ -74,7 +77,7 @@ func (sw Sweep) Size() int {
 	n := 1
 	for _, axis := range []int{
 		len(sw.Methods), len(sw.Splits), len(sw.Lambdas),
-		len(sw.Clients), len(sw.Hiddens), len(sw.Seeds),
+		len(sw.Clients), len(sw.Hiddens), len(sw.Precisions), len(sw.Seeds),
 	} {
 		if axis > 0 {
 			n *= axis
@@ -87,8 +90,8 @@ func (sw Sweep) Size() int {
 }
 
 // Expand materializes the grid into one Spec per cell, in the fixed
-// nesting order (Splits → Lambdas → Clients → Hiddens → Seeds →
-// Methods, outermost first). Cells are validated; equal cells are NOT
+// nesting order (Splits → Lambdas → Clients → Hiddens → Precisions →
+// Seeds → Methods, outermost first). Cells are validated; equal cells are NOT
 // collapsed here — SubmitSweep deduplicates by content-address so a
 // Batch can still report per-cell results in grid order.
 func (sw Sweep) Expand() ([]Spec, error) {
@@ -111,6 +114,10 @@ func (sw Sweep) Expand() ([]Spec, error) {
 	if len(hiddens) == 0 {
 		hiddens = [][]int{sw.Base.Hidden}
 	}
+	precisions := sw.Precisions
+	if len(precisions) == 0 {
+		precisions = []string{sw.Base.Precision}
+	}
 	seeds := sw.Seeds
 	if len(seeds) == 0 {
 		seeds = []SeedSpec{{Seed: sw.Base.Seed, GenSeed: sw.Base.GenSeed}}
@@ -124,23 +131,26 @@ func (sw Sweep) Expand() ([]Spec, error) {
 		for _, lambda := range lambdas {
 			for _, nClients := range clients {
 				for _, hidden := range hiddens {
-					for _, seed := range seeds {
-						for _, method := range methods {
-							sp := sw.Base
-							sp.Split = split
-							sp.Lambda = lambda
-							sp.Clients = nClients
-							sp.Hidden = hidden
-							sp.Seed = seed.Seed
-							if seed.GenSeed != 0 {
-								sp.GenSeed = seed.GenSeed
+					for _, precision := range precisions {
+						for _, seed := range seeds {
+							for _, method := range methods {
+								sp := sw.Base
+								sp.Split = split
+								sp.Lambda = lambda
+								sp.Clients = nClients
+								sp.Hidden = hidden
+								sp.Precision = precision
+								sp.Seed = seed.Seed
+								if seed.GenSeed != 0 {
+									sp.GenSeed = seed.GenSeed
+								}
+								sp.Method = method
+								if err := sp.Validate(); err != nil {
+									return nil, fmt.Errorf("engine: sweep cell %d (%s, seed %d): %w",
+										len(specs), method, seed.Seed, err)
+								}
+								specs = append(specs, sp)
 							}
-							sp.Method = method
-							if err := sp.Validate(); err != nil {
-								return nil, fmt.Errorf("engine: sweep cell %d (%s, seed %d): %w",
-									len(specs), method, seed.Seed, err)
-							}
-							specs = append(specs, sp)
 						}
 					}
 				}

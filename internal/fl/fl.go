@@ -429,6 +429,12 @@ type RunConfig struct {
 	// thread their job trace here). Purely observational: it has no
 	// effect on the computation.
 	TraceID string
+	// Precision selects the compute dtype of the training hot path
+	// (nn.F64 default, nn.F32 opt-in). Unlike Parallelism this is NOT
+	// result-neutral: float32 rounds perturb the trajectory within the
+	// tolerance documented in nn/precision.go, so it is part of a run's
+	// identity (the engine hashes it into job IDs).
+	Precision nn.Precision
 }
 
 // Validate reports configuration errors against a client population of
@@ -446,6 +452,9 @@ func (c RunConfig) Validate(numClients int) error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("fl: parallelism %d, want ≥ 0", c.Parallelism)
+	}
+	if c.Precision > nn.F32 {
+		return fmt.Errorf("fl: unknown precision %d", c.Precision)
 	}
 	return nil
 }
@@ -465,6 +474,15 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 	}
 	if err := cfg.Validate(len(clients)); err != nil {
 		return nil, nil, err
+	}
+	if cfg.Precision != env.ModelCfg.Precision {
+		// The precision knob rides on the model config so every Clone in
+		// the round loop inherits it; work on a copy of the env so the
+		// caller's stays untouched. Initialization draws in float64
+		// either way, so both precisions start from identical weights.
+		e := *env
+		e.ModelCfg.Precision = cfg.Precision
+		env = &e
 	}
 	global, err := nn.New(env.ModelCfg, env.RNG.Stream("model-init"))
 	if err != nil {
@@ -536,6 +554,15 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 		}
 		hist.Timing.Aggregate += time.Since(aggStart)
 		hist.Timing.AggregateCount++
+		// Aggregate has consumed the client updates (every implementation
+		// reads them within the call and returns an arena it owns), so
+		// their parameter arenas can be recycled into the next round's
+		// clones. Guard against an algorithm echoing an update back.
+		for _, u := range updates {
+			if u != global {
+				u.Release()
+			}
+		}
 
 		last := round == cfg.Rounds-1
 		if last || (cfg.EvalEvery > 0 && (round+1)%cfg.EvalEvery == 0) {

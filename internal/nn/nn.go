@@ -33,6 +33,11 @@ type Config struct {
 	// depth/capacity. {In, Hidden} and {In, HiddenDims: []int{Hidden}}
 	// describe the same model.
 	HiddenDims []int
+	// Precision selects the compute dtype of the forward/backward hot
+	// path (see precision.go). The zero value is F64; F32 runs the
+	// matmul-heavy passes through the float32 micro-kernels at half the
+	// memory bandwidth while keeping float64 master weights.
+	Precision Precision
 }
 
 // hiddenDims returns the effective hidden-layer widths.
@@ -56,13 +61,17 @@ func (c Config) Validate() error {
 			return fmt.Errorf("nn: non-positive hidden width in %v", c.HiddenDims)
 		}
 	}
+	if c.Precision > F32 {
+		return fmt.Errorf("nn: unknown precision %d", c.Precision)
+	}
 	return nil
 }
 
-// Equal reports whether two configs describe the same architecture
-// ({Hidden: 64} and {HiddenDims: []int{64}} are equal).
+// Equal reports whether two configs describe the same architecture and
+// compute precision ({Hidden: 64} and {HiddenDims: []int{64}} are
+// equal).
 func (c Config) Equal(o Config) bool {
-	if c.In != o.In || c.ZDim != o.ZDim || c.Classes != o.Classes {
+	if c.In != o.In || c.ZDim != o.ZDim || c.Classes != o.Classes || c.Precision != o.Precision {
 		return false
 	}
 	ch, oh := c.hiddenDims(), o.hiddenDims()
@@ -146,10 +155,24 @@ type Model struct {
 	arena  []float64
 	all    *tensor.Tensor // 1-D view over the whole arena
 	layers []Layer
+	// shadow is the float32 mirror the F32 compute path multiplies
+	// against; a derived cache re-narrowed from the master arena at each
+	// forward pass, never authoritative (see precision.go).
+	shadow struct {
+		arena []float32
+		w, b  [][]float32
+	}
 }
 
-// newEmpty allocates a zero-parameter model for a validated config.
+// newEmpty allocates — or recycles, see recycle.go — a zero-parameter
+// model for a validated config.
 func newEmpty(cfg Config) *Model {
+	if m := acquireModel(cfg); m != nil {
+		for i := range m.arena {
+			m.arena[i] = 0
+		}
+		return m
+	}
 	arena := make([]float64, cfg.arenaLen())
 	return &Model{
 		Cfg:    cfg,
@@ -209,9 +232,14 @@ func (m *Model) Params() []*tensor.Tensor {
 	return out
 }
 
-// Clone deep-copies the model: one arena allocation plus view headers.
+// Clone deep-copies the model: one arena allocation plus view headers,
+// or a pooled arena when a released same-config model is available (the
+// copy overwrites every element, so no zeroing pass is needed).
 func (m *Model) Clone() *Model {
-	cp := newEmpty(m.Cfg)
+	cp := acquireModel(m.Cfg)
+	if cp == nil {
+		cp = newEmpty(m.Cfg)
+	}
 	copy(cp.arena, m.arena)
 	return cp
 }
@@ -267,6 +295,11 @@ type Activations struct {
 	// Logits the classifier output; both alias entries of out.
 	Z      *tensor.Tensor // (B, ZDim)
 	Logits *tensor.Tensor // (B, Classes)
+	// Float32 mirrors used by the F32 compute path (precision.go): the
+	// narrowed input and per-layer pre-activations/outputs. Z and Logits
+	// above are then widened copies, so loss code sees float64 either way.
+	x32          []float32
+	pre32, out32 [][]float32
 }
 
 // Forward runs the full model on a batch X of shape (B, In), allocating
@@ -288,6 +321,9 @@ func (m *Model) Forward(x *tensor.Tensor) (*Activations, error) {
 func (m *Model) ForwardInto(acts *Activations, x *tensor.Tensor) error {
 	if x.Dims() != 2 || x.Dim(1) != m.Cfg.In {
 		return fmt.Errorf("nn: input shape %v, want (B,%d)", x.Shape(), m.Cfg.In)
+	}
+	if m.Cfg.Precision == F32 {
+		return m.forward32(acts, x)
 	}
 	b := x.Dim(0)
 	nL := len(m.layers)
@@ -326,6 +362,9 @@ func (m *Model) ForwardInto(acts *Activations, x *tensor.Tensor) error {
 func (m *Model) RecomputeLogits(acts *Activations) error {
 	if acts.Z == nil || acts.Logits == nil {
 		return fmt.Errorf("nn: RecomputeLogits before a forward pass")
+	}
+	if m.Cfg.Precision == F32 {
+		return m.recomputeLogits32(acts)
 	}
 	cls := m.Classifier()
 	if err := tensor.MatMulInto(acts.Logits, acts.Z, cls.W); err != nil {
@@ -370,10 +409,23 @@ type Grads struct {
 		gW    []*tensor.Tensor
 		delta []*tensor.Tensor
 	}
+	// s32 is the float32 analog used by the F32 compute path
+	// (precision.go): weight-gradient staging, delta flows, and the
+	// narrowed loss gradient at the logits.
+	s32 struct {
+		gW    [][]float32
+		delta [][]float32
+		dl    []float32
+	}
 }
 
-// NewGrads allocates zeroed gradients for m.
+// NewGrads allocates zeroed gradients for m, recycling a released
+// same-config Grads (arena plus backprop scratch) when one is pooled.
 func (m *Model) NewGrads() *Grads {
+	if g := acquireGrads(m.Cfg, len(m.arena)); g != nil {
+		g.Zero()
+		return g
+	}
 	arena := make([]float64, len(m.arena))
 	g := &Grads{
 		cfg:    m.Cfg,
@@ -411,6 +463,9 @@ func (m *Model) Backward(acts *Activations, dLogits, dZExtra *tensor.Tensor, gra
 	}
 	if !grads.cfg.Equal(m.Cfg) {
 		return fmt.Errorf("nn: grads built for config %+v, model has %+v", grads.cfg, m.Cfg)
+	}
+	if m.Cfg.Precision == F32 {
+		return m.backward32(acts, dLogits, dZExtra, grads)
 	}
 	b := acts.X.Dim(0)
 	sc := &grads.scratch
@@ -507,7 +562,7 @@ func (s *SGD) Step(m *Model, g *Grads) error {
 		return fmt.Errorf("nn: sgd param count %d vs grad count %d", len(pd), len(gd))
 	}
 	if len(s.vel) != len(pd) {
-		s.vel = make([]float64, len(pd))
+		s.vel = acquireVel(len(pd))
 	}
 	if s.Clip > 0 {
 		total := 0.0

@@ -1,0 +1,335 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/pardon-feddg/pardon/internal/tensor"
+)
+
+func TestParsePrecision(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Precision
+		ok   bool
+	}{
+		{"", F64, true},
+		{"f64", F64, true},
+		{"float64", F64, true},
+		{"f32", F32, true},
+		{"float32", F32, true},
+		{"f16", F64, false},
+		{"double", F64, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePrecision(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if F64.String() != "f64" || F32.String() != "f32" {
+		t.Errorf("String() = %q, %q", F64.String(), F32.String())
+	}
+}
+
+func TestPrecisionConfigValidateEqual(t *testing.T) {
+	cfg := Config{In: 8, Hidden: 4, ZDim: 3, Classes: 2, Precision: F32}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid f32 config rejected: %v", err)
+	}
+	bad := cfg
+	bad.Precision = 7
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+	other := cfg
+	other.Precision = F64
+	if cfg.Equal(other) {
+		t.Fatal("configs differing only in precision compare equal")
+	}
+}
+
+// pairedModels returns an f64 model and an f32 model with identical
+// master weights, plus a deterministic input batch.
+func pairedModels(t *testing.T, b int) (m64, m32 *Model, x *tensor.Tensor, y []int) {
+	t.Helper()
+	cfg := Config{In: 12, HiddenDims: []int{10, 9}, ZDim: 6, Classes: 4}
+	r := rand.New(rand.NewSource(11))
+	var err error
+	m64, err = New(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg32 := cfg
+	cfg32.Precision = F32
+	m32 = &Model{}
+	*m32 = *m64
+	m32.Cfg = cfg32
+	// Deep-copy the arena so SGD steps do not couple the two models.
+	m32.arena = append([]float64(nil), m64.arena...)
+	m32.all = tensor.MustFromSlice(m32.arena, len(m32.arena))
+	m32.layers = bindLayers(cfg32, m32.arena)
+	m32.shadow.arena = nil
+	x = tensor.New(b, cfg.In)
+	xd := x.Data()
+	for i := range xd {
+		xd[i] = r.NormFloat64()
+	}
+	y = make([]int, b)
+	for i := range y {
+		y[i] = r.Intn(cfg.Classes)
+	}
+	return m64, m32, x, y
+}
+
+// TestF32ForwardWithinTolerance runs the same batch through the f64 and
+// f32 paths and bounds the divergence of Z and the logits.
+func TestF32ForwardWithinTolerance(t *testing.T) {
+	m64, m32, x, _ := pairedModels(t, 7)
+	a64, err := m64.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a32, err := m32.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-4 // shallow stack: a few ulps of float32 per layer
+	maxDiff := func(p, q *tensor.Tensor) float64 {
+		pd, qd := p.Data(), q.Data()
+		worst := 0.0
+		for i := range pd {
+			d := math.Abs(pd[i] - qd[i])
+			if s := math.Abs(pd[i]); s > 1 {
+				d /= s
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	if d := maxDiff(a64.Z, a32.Z); d > tol {
+		t.Errorf("Z diverges by %g (tol %g)", d, tol)
+	}
+	if d := maxDiff(a64.Logits, a32.Logits); d > tol {
+		t.Errorf("logits diverge by %g (tol %g)", d, tol)
+	}
+}
+
+// TestF32TrainStepWithinTolerance drives several full forward/backward/
+// step iterations in both precisions and checks the parameter
+// trajectories stay close — the end-to-end contract the engine's
+// precision knob relies on.
+func TestF32TrainStepWithinTolerance(t *testing.T) {
+	m64, m32, x, y := pairedModels(t, 7)
+	step := func(m *Model, opt *SGD, g *Grads, acts *Activations) {
+		t.Helper()
+		if err := m.ForwardInto(acts, x); err != nil {
+			t.Fatal(err)
+		}
+		dLogits := softmaxGrad(acts.Logits, y)
+		g.Zero()
+		if err := m.Backward(acts, dLogits, nil, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Step(m, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o64, o32 := NewSGD(0.05, 0.9, 1e-4), NewSGD(0.05, 0.9, 1e-4)
+	g64, g32 := m64.NewGrads(), m32.NewGrads()
+	a64, a32 := &Activations{}, &Activations{}
+	for it := 0; it < 5; it++ {
+		step(m64, o64, g64, a64)
+		step(m32, o32, g32, a32)
+	}
+	const tol = 5e-4
+	v64, v32 := m64.Vector(), m32.Vector()
+	for i := range v64 {
+		d := math.Abs(v64[i] - v32[i])
+		if s := math.Abs(v64[i]); s > 1 {
+			d /= s
+		}
+		if d > tol {
+			t.Fatalf("param %d diverges after 5 steps: %g vs %g", i, v64[i], v32[i])
+		}
+	}
+}
+
+// softmaxGrad is a minimal cross-entropy gradient for the tests (the
+// real one lives in the loss package, which nn cannot import).
+func softmaxGrad(logits *tensor.Tensor, y []int) *tensor.Tensor {
+	b, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(b, c)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < b; i++ {
+		row, orow := ld[i*c:(i+1)*c], od[i*c:(i+1)*c]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			orow[j] = math.Exp(v - max)
+			sum += orow[j]
+		}
+		inv := 1.0 / (sum * float64(b))
+		for j := range orow {
+			orow[j] *= inv
+		}
+		orow[y[i]] -= 1.0 / float64(b)
+	}
+	return out
+}
+
+// TestF32RecomputeLogits checks the FedSR path: perturb Z after an f32
+// forward pass and recompute logits through the shadow classifier.
+func TestF32RecomputeLogits(t *testing.T) {
+	_, m32, x, _ := pairedModels(t, 5)
+	acts, err := m32.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), acts.Logits.Data()...)
+	zd := acts.Z.Data()
+	for i := range zd {
+		zd[i] += 0.25
+	}
+	if err := m32.RecomputeLogits(acts); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i, v := range acts.Logits.Data() {
+		if v != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("logits unchanged after Z perturbation")
+	}
+	// The recomputed logits must match a fresh classifier pass over the
+	// perturbed Z within f32 tolerance.
+	cls := m32.Classifier()
+	want := tensor.New(x.Dim(0), m32.Cfg.Classes)
+	if err := tensor.MatMulInto(want, acts.Z, cls.W); err != nil {
+		t.Fatal(err)
+	}
+	addRowVector(want, cls.B)
+	wd, gd := want.Data(), acts.Logits.Data()
+	for i := range wd {
+		if math.Abs(wd[i]-gd[i]) > 1e-4 {
+			t.Fatalf("recomputed logit %d: %g vs f64 reference %g", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestF32SteadyStateAllocs proves the f32 train step allocates nothing
+// once activation/gradient scratch is warm, matching the f64 guarantee.
+func TestF32SteadyStateAllocs(t *testing.T) {
+	_, m32, x, y := pairedModels(t, 7)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	grads := m32.NewGrads()
+	acts := &Activations{}
+	dLogits := tensor.New(x.Dim(0), m32.Cfg.Classes)
+	run := func() {
+		if err := m32.ForwardInto(acts, x); err != nil {
+			t.Fatal(err)
+		}
+		g := softmaxGrad(acts.Logits, y)
+		copy(dLogits.Data(), g.Data())
+		grads.Zero()
+		if err := m32.Backward(acts, dLogits, nil, grads); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Step(m32, grads); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := m32.ForwardInto(acts, x); err != nil {
+			t.Fatal(err)
+		}
+		grads.Zero()
+		if err := m32.Backward(acts, dLogits, nil, grads); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Step(m32, grads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("f32 train step allocates %.0f times steady-state, want 0", allocs)
+	}
+}
+
+// TestF32SerializeRoundTrip checks the v2 dtype byte: an F32 model's
+// blob is half the parameter payload and round-trips to exactly the
+// narrowed parameters.
+func TestF32SerializeRoundTrip(t *testing.T) {
+	_, m32, _, _ := pairedModels(t, 2)
+	blob32, err := m32.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(blob32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cfg.Equal(m32.Cfg) || got.Cfg.Precision != F32 {
+		t.Fatalf("round-trip config %+v, want %+v", got.Cfg, m32.Cfg)
+	}
+	gv, mv := got.Vector(), m32.Vector()
+	for i := range gv {
+		if gv[i] != float64(float32(mv[i])) {
+			t.Fatalf("param %d: %g, want narrowed %g", i, gv[i], float64(float32(mv[i])))
+		}
+	}
+	// The f32 payload must be smaller than the f64 one by ~4 bytes per
+	// parameter (header sizes are equal).
+	cfg64 := m32.Cfg
+	cfg64.Precision = F64
+	m64 := newEmpty(cfg64)
+	copy(m64.arena, m32.arena)
+	blob64, err := m64.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(blob64) - 4*len(mv); len(blob32) != want {
+		t.Errorf("f32 blob %d bytes, want %d", len(blob32), want)
+	}
+}
+
+// TestV1CheckpointStillLoads pins backward compatibility: a payload in
+// the version-1 layout (no dtype byte, float64 values) must decode.
+func TestV1CheckpointStillLoads(t *testing.T) {
+	cfg := Config{In: 3, Hidden: 2, ZDim: 2, Classes: 2}
+	m, err := New(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite as version 1: patch the version word and splice out the
+	// dtype byte at offset 8.
+	v1 := append([]byte(nil), blob[:4]...)
+	v1 = append(v1, 1, 0, 0, 0) // version 1, little-endian
+	v1 = append(v1, blob[9:]...)
+	got, err := LoadModel(v1)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	gv, mv := got.Vector(), m.Vector()
+	for i := range gv {
+		if gv[i] != mv[i] {
+			t.Fatalf("param %d: %g, want %g", i, gv[i], mv[i])
+		}
+	}
+}

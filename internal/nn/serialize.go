@@ -10,19 +10,26 @@ import (
 // payload:
 //
 //	[4]byte  magic "PDNM"
-//	uint32   format version (1)
+//	uint32   format version (2)
+//	uint8    dtype (0 = float64, 1 = float32)      [version ≥ 2]
 //	int64    In, Hidden, ZDim, Classes
 //	int64    len(HiddenDims), then that many int64 widths
 //	int64    arena length
-//	float64  arena values (IEEE-754 bits), canonical layer order
+//	         arena values in canonical layer order:
+//	float64  IEEE-754 bits, 8·n bytes (dtype 0)
+//	float32  IEEE-754 bits, 4·n bytes (dtype 1)
 //
 // The header carries the Config verbatim (including whether depth came
 // from Hidden or HiddenDims), so UnmarshalBinary reconstructs a model
 // whose Canonical layout, Params order, and arena are bit-identical to
-// the marshalled one.
+// the marshalled one. Models with Precision F32 serialize their
+// parameters narrowed to float32 — exactly the values the compute path
+// multiplies against — at half the blob size; loading widens them back
+// into the float64 master arena (exact). Version-1 payloads (no dtype
+// byte, always float64) still load.
 var checkpointMagic = [4]byte{'P', 'D', 'N', 'M'}
 
-const checkpointVersion = 1
+const checkpointVersion = 2
 
 // Plausibility bounds applied while decoding, before any size-derived
 // allocation: together they keep cfg.arenaLen far from int64 overflow
@@ -35,10 +42,15 @@ const (
 // MarshalBinary implements encoding.BinaryMarshaler: a shape header plus
 // the raw parameter arena.
 func (m *Model) MarshalBinary() ([]byte, error) {
-	size := 4 + 4 + 8*4 + 8 + 8*len(m.Cfg.HiddenDims) + 8 + 8*len(m.arena)
+	elem := 8
+	if m.Cfg.Precision == F32 {
+		elem = 4
+	}
+	size := 4 + 4 + 1 + 8*4 + 8 + 8*len(m.Cfg.HiddenDims) + 8 + elem*len(m.arena)
 	out := make([]byte, 0, size)
 	out = append(out, checkpointMagic[:]...)
 	out = binary.LittleEndian.AppendUint32(out, checkpointVersion)
+	out = append(out, byte(m.Cfg.Precision))
 	for _, v := range []int{m.Cfg.In, m.Cfg.Hidden, m.Cfg.ZDim, m.Cfg.Classes} {
 		out = binary.LittleEndian.AppendUint64(out, uint64(int64(v)))
 	}
@@ -47,8 +59,14 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 		out = binary.LittleEndian.AppendUint64(out, uint64(int64(h)))
 	}
 	out = binary.LittleEndian.AppendUint64(out, uint64(int64(len(m.arena))))
-	for _, v := range m.arena {
-		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	if m.Cfg.Precision == F32 {
+		for _, v := range m.arena {
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(v)))
+		}
+	} else {
+		for _, v := range m.arena {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
 	}
 	return out, nil
 }
@@ -68,10 +86,17 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("nn: checkpoint: %w", err)
 	}
-	if ver != checkpointVersion {
+	if ver != 1 && ver != checkpointVersion {
 		return fmt.Errorf("nn: checkpoint: unsupported format version %d", ver)
 	}
 	var cfg Config
+	if ver >= 2 {
+		var dt [1]byte
+		if err := r.bytes(dt[:]); err != nil {
+			return fmt.Errorf("nn: checkpoint: %w", err)
+		}
+		cfg.Precision = Precision(dt[0])
+	}
 	for _, dst := range []*int{&cfg.In, &cfg.Hidden, &cfg.ZDim, &cfg.Classes} {
 		v, err := r.int64()
 		if err != nil {
@@ -118,17 +143,31 @@ func (m *Model) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("nn: checkpoint: arena length %d does not match config (want %d)", n, cfg.arenaLen())
 	}
 	// The payload must actually contain the arena before it is
-	// allocated (dims are bounded, so 8*n cannot overflow).
-	if int64(r.remaining()) != 8*n {
+	// allocated (dims are bounded, so elem*n cannot overflow).
+	elem := int64(8)
+	if cfg.Precision == F32 {
+		elem = 4
+	}
+	if int64(r.remaining()) != elem*n {
 		return fmt.Errorf("nn: checkpoint: %d payload bytes for %d parameters", r.remaining(), n)
 	}
 	fresh := newEmpty(cfg)
-	for i := range fresh.arena {
-		bits, err := r.uint64()
-		if err != nil {
-			return fmt.Errorf("nn: checkpoint: %w", err)
+	if cfg.Precision == F32 {
+		for i := range fresh.arena {
+			bits, err := r.uint32()
+			if err != nil {
+				return fmt.Errorf("nn: checkpoint: %w", err)
+			}
+			fresh.arena[i] = float64(math.Float32frombits(bits))
 		}
-		fresh.arena[i] = math.Float64frombits(bits)
+	} else {
+		for i := range fresh.arena {
+			bits, err := r.uint64()
+			if err != nil {
+				return fmt.Errorf("nn: checkpoint: %w", err)
+			}
+			fresh.arena[i] = math.Float64frombits(bits)
+		}
 	}
 	if r.remaining() != 0 {
 		return fmt.Errorf("nn: checkpoint: %d trailing bytes", r.remaining())

@@ -44,3 +44,29 @@ func MatMulABTWithSplits(a, b *Tensor, bounds []int) (*Tensor, error) {
 	}
 	return out, nil
 }
+
+// Float32 analogs of the split hooks, over the generic panel kernels
+// directly. The panels assign every element, so out is not pre-zeroed —
+// the splits must also prove dirty buffers are fully overwritten.
+
+// MatMulF32WithSplits computes a@b over float32 slices applying the
+// blocked panel to each row range.
+func MatMulF32WithSplits(out, a, b []float32, k, n int, bounds []int) {
+	for i := 0; i+1 < len(bounds); i++ {
+		mmPanel(a, b, out, k, n, bounds[i], bounds[i+1])
+	}
+}
+
+// MatMulATBF32WithSplits is MatMulF32WithSplits for the aᵀ@b kernel.
+func MatMulATBF32WithSplits(out, a, b []float32, k, m, n int, bounds []int) {
+	for i := 0; i+1 < len(bounds); i++ {
+		atbPanel(a, b, out, k, m, n, bounds[i], bounds[i+1])
+	}
+}
+
+// MatMulABTF32WithSplits is MatMulF32WithSplits for the a@bᵀ kernel.
+func MatMulABTF32WithSplits(out, a, b []float32, k, n int, bounds []int) {
+	for i := 0; i+1 < len(bounds); i++ {
+		abtPanel(a, b, out, k, n, bounds[i], bounds[i+1])
+	}
+}

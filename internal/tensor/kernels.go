@@ -9,6 +9,12 @@
 //     while b streams contiguously. Each pool task owns a disjoint panel,
 //     so workers never write the same element and need no synchronization
 //     beyond the completion WaitGroup.
+//   - Register-blocked micro-kernels. Inside each panel the inner loops
+//     walk 2-row × 4-column output strips with manually unrolled
+//     accumulators in locals (microkernel.go) — the widest block that
+//     still fits amd64's 16 vector registers — with the scalar row loop
+//     as the tail and fallback for ragged edges. The float32 entry
+//     points (f32.go) instantiate the same generic strip bodies.
 //   - Fixed accumulation order. Every output element accumulates its k terms
 //     in ascending-p order no matter how rows are split across workers, so
 //     results are bit-identical to the serial reference kernels at any
@@ -27,6 +33,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // serialFlopCutoff is the multiply-add count below which kernels stay
@@ -47,10 +56,39 @@ var (
 	poolTasks chan kernelTask
 )
 
+// kernelMetrics exposes pool utilization on the process-wide telemetry
+// registry (satellite of DESIGN.md §8): whether kernel time is spent on
+// pool workers, inline on the caller, or below the serial cutoff tells
+// /metrics readers if the pool or the micro-kernel is the bottleneck.
+// Registered lazily so tensor-only users never touch the registry.
+var kmetrics struct {
+	once        sync.Once
+	poolTasks   *telemetry.Counter
+	inline      *telemetry.Counter
+	serialCalls *telemetry.Counter
+	callSeconds *telemetry.Histogram
+}
+
+func kernelMetrics() {
+	kmetrics.once.Do(func() {
+		reg := telemetry.Default()
+		kmetrics.poolTasks = reg.Counter("kernel_pool_tasks_total",
+			"Row panels executed by shared kernel-pool workers.")
+		kmetrics.inline = reg.Counter("kernel_inline_panels_total",
+			"Row panels executed inline on the submitting goroutine (caller-owned final chunk plus saturated-pool fallbacks).")
+		kmetrics.serialCalls = reg.Counter("kernel_serial_calls_total",
+			"Kernel dispatches that ran fully serial below the work cutoff.")
+		kmetrics.callSeconds = reg.Histogram("kernel_call_seconds",
+			"Wall time per matrix-kernel dispatch.",
+			[]float64{1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 0.25, 1})
+	})
+}
+
 // pool starts the shared worker pool on first use, sized by GOMAXPROCS at
 // that moment, and returns its task channel.
 func pool() chan kernelTask {
 	poolOnce.Do(func() {
+		kernelMetrics()
 		poolSize = runtime.GOMAXPROCS(0)
 		poolTasks = make(chan kernelTask, 4*poolSize)
 		for w := 0; w < poolSize; w++ {
@@ -58,6 +96,7 @@ func pool() chan kernelTask {
 				for t := range poolTasks {
 					t.run(t.lo, t.hi)
 					t.done.Done()
+					kmetrics.poolTasks.Inc()
 				}
 			}()
 		}
@@ -79,6 +118,7 @@ func parallelRows(rows int, body func(lo, hi int)) {
 	}
 	if tasks <= 1 {
 		body(0, rows)
+		kmetrics.inline.Inc()
 		return
 	}
 	chunk := (rows + tasks - 1) / tasks
@@ -92,90 +132,110 @@ func parallelRows(rows int, body func(lo, hi int)) {
 		default:
 			body(t.lo, t.hi)
 			wg.Done()
+			kmetrics.inline.Inc()
 		}
 		lo += chunk
 	}
 	body(lo, rows)
+	kmetrics.inline.Inc()
 	wg.Wait()
 }
 
 // --- row-panel range kernels ---
 //
-// Each computes output rows [lo,hi) only — the panel is the cache tile.
-// The loop order keeps every output row L1-resident through all k of its
-// accumulations while b streams contiguously (prefetch-friendly) and is
-// shared read-only by all panels. Explicit k- and n-axis tiling was
-// benchmarked against this layout and lost at every shape the system
-// hits, including cache-exceeding 1024³ (see DESIGN.md §5); the panel
-// scheme also makes every output element accumulate its p terms in
-// ascending order no matter how rows are split across workers, so results
-// are bit-identical to the serial reference at any parallelism — the
-// property that keeps the engine's content-addressed result cache sound.
+// Each computes output rows [lo,hi) only — the panel is the cache tile,
+// and inside the panel the register-blocked micro-kernels in
+// microkernel.go walk 2×4 output strips (gen-1's scalar row loops
+// survive as the strip tails). Gen-1 benchmarked scalar k-/n-axis cache
+// tiling and rejected it; gen-2's *register* tiling is a different
+// trade — it amortizes each a/b load over up to 4 multiply-adds and
+// reuses each b load across two rows — and wins at every measured
+// shape (see DESIGN.md §5 for numbers and the tile shapes that were
+// measured and rejected). The panel scheme still makes every
+// output element accumulate its p terms in ascending order no matter
+// how rows are split across workers, so results are bit-identical to
+// the serial reference at any parallelism — the property that keeps
+// the engine's content-addressed result cache sound.
 
-// matMulRange: out[i,j] += Σ_p a[i,p]·b[p,j] for i in [lo,hi).
-// out rows must be zeroed. Skips a-zeros like the serial reference.
+// matMulRange: out[i,j] = Σ_p a[i,p]·b[p,j] for i in [lo,hi).
+// Assigns every cell, so out need not be zeroed. Skips a-zeros like
+// the serial reference.
 func matMulRange(a, b, out []float64, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := a[i*k : (i+1)*k]
-		oi := out[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
+	mmPanel(a, b, out, k, n, lo, hi)
 }
 
-// matMulATBRange: out[i,j] += Σ_p a[p,i]·b[p,j] (a is k×m) for i in
-// [lo,hi). p stays outermost so each b row is L1-hot across the panel's
-// rows, exactly like the serial reference; out rows must be zeroed.
+// matMulATBRange: out[i,j] = Σ_p a[p,i]·b[p,j] (a is k×m) for i in
+// [lo,hi). Assigns every cell, so out need not be zeroed.
 func matMulATBRange(a, b, out []float64, k, m, n, lo, hi int) {
-	for p := 0; p < k; p++ {
-		ap := a[p*m : (p+1)*m]
-		bp := b[p*n : (p+1)*n]
-		for i := lo; i < hi; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			oi := out[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
+	atbPanel(a, b, out, k, m, n, lo, hi)
 }
 
 // matMulABTRange: out[i,j] = Σ_p a[i,p]·b[j,p] (b is n×k) for i in
 // [lo,hi). Assigns every cell, so out need not be zeroed.
 func matMulABTRange(a, b, out []float64, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ai := a[i*k : (i+1)*k]
-		oi := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			oi[j] = s
-		}
-	}
+	abtPanel(a, b, out, k, n, lo, hi)
 }
 
-// dispatch runs body over [0,rows) — inline below the work threshold,
-// across the pool above it.
-func dispatch(rows, madds int, body func(lo, hi int)) {
-	if madds < serialFlopCutoff {
-		body(0, rows)
+// kernelStart/kernelDone bracket one kernel dispatch for telemetry.
+// They are split (rather than one dispatch function taking a closure)
+// so the serial path can call its panel directly: a closure that is
+// ever passed to parallelRows escapes to the heap on every call, which
+// would cost the below-cutoff hot path its allocation-freeness.
+func kernelStart() time.Time {
+	kernelMetrics()
+	return time.Now()
+}
+
+func kernelDone(start time.Time, serial bool) {
+	if serial {
+		kmetrics.serialCalls.Inc()
+	}
+	kmetrics.callSeconds.Observe(time.Since(start).Seconds())
+}
+
+// dispatch runs body over [0,rows) across the pool and records per-call
+// telemetry. Callers below serialFlopCutoff run their panel inline
+// instead of building a closure (see kernelStart).
+func dispatch(rows int, body func(lo, hi int)) {
+	start := kernelStart()
+	parallelRows(rows, body)
+	kernelDone(start, false)
+}
+
+// runMatMul/runMatMulATB/runMatMulABT execute one blocked kernel over
+// its full row range — serially below the work cutoff (panel called
+// directly, allocation-free), across the pool above it. Generic over
+// the dtype seam, so the float64 tensor entry points and the float32
+// slice entry points share them.
+
+func runMatMul[T number](a, b, out []T, m, k, n int) {
+	if m*k*n < serialFlopCutoff {
+		start := kernelStart()
+		mmPanel(a, b, out, k, n, 0, m)
+		kernelDone(start, true)
 		return
 	}
-	parallelRows(rows, body)
+	dispatch(m, func(lo, hi int) { mmPanel(a, b, out, k, n, lo, hi) })
+}
+
+func runMatMulATB[T number](a, b, out []T, k, m, n int) {
+	if m*k*n < serialFlopCutoff {
+		start := kernelStart()
+		atbPanel(a, b, out, k, m, n, 0, m)
+		kernelDone(start, true)
+		return
+	}
+	dispatch(m, func(lo, hi int) { atbPanel(a, b, out, k, m, n, lo, hi) })
+}
+
+func runMatMulABT[T number](a, b, out []T, m, k, n int) {
+	if m*k*n < serialFlopCutoff {
+		start := kernelStart()
+		abtPanel(a, b, out, k, n, 0, m)
+		kernelDone(start, true)
+		return
+	}
+	dispatch(m, func(lo, hi int) { abtPanel(a, b, out, k, n, lo, hi) })
 }
 
 // --- shape validation shared by the public entry points ---
@@ -234,7 +294,7 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, err
 	}
 	out := New(m, n)
-	dispatch(m, m*k*n, func(lo, hi int) { matMulRange(a.data, b.data, out.data, k, n, lo, hi) })
+	runMatMul(a.data, b.data, out.data, m, k, n)
 	return out, nil
 }
 
@@ -249,8 +309,7 @@ func MatMulInto(out, a, b *Tensor) error {
 	if err := checkOut(out, m, n, "matmul"); err != nil {
 		return err
 	}
-	out.Zero()
-	dispatch(m, m*k*n, func(lo, hi int) { matMulRange(a.data, b.data, out.data, k, n, lo, hi) })
+	runMatMul(a.data, b.data, out.data, m, k, n)
 	return nil
 }
 
@@ -262,7 +321,7 @@ func MatMulATB(a, b *Tensor) (*Tensor, error) {
 		return nil, err
 	}
 	out := New(m, n)
-	dispatch(m, m*k*n, func(lo, hi int) { matMulATBRange(a.data, b.data, out.data, k, m, n, lo, hi) })
+	runMatMulATB(a.data, b.data, out.data, k, m, n)
 	return out, nil
 }
 
@@ -276,8 +335,7 @@ func MatMulATBInto(out, a, b *Tensor) error {
 	if err := checkOut(out, m, n, "matmulATB"); err != nil {
 		return err
 	}
-	out.Zero()
-	dispatch(m, m*k*n, func(lo, hi int) { matMulATBRange(a.data, b.data, out.data, k, m, n, lo, hi) })
+	runMatMulATB(a.data, b.data, out.data, k, m, n)
 	return nil
 }
 
@@ -289,7 +347,7 @@ func MatMulABT(a, b *Tensor) (*Tensor, error) {
 		return nil, err
 	}
 	out := New(m, n)
-	dispatch(m, m*k*n, func(lo, hi int) { matMulABTRange(a.data, b.data, out.data, k, n, lo, hi) })
+	runMatMulABT(a.data, b.data, out.data, m, k, n)
 	return out, nil
 }
 
@@ -303,7 +361,7 @@ func MatMulABTInto(out, a, b *Tensor) error {
 	if err := checkOut(out, m, n, "matmulABT"); err != nil {
 		return err
 	}
-	dispatch(m, m*k*n, func(lo, hi int) { matMulABTRange(a.data, b.data, out.data, k, n, lo, hi) })
+	runMatMulABT(a.data, b.data, out.data, m, k, n)
 	return nil
 }
 
@@ -392,10 +450,7 @@ func AddScaledInto(dst, a *Tensor, s float64, b *Tensor) error {
 	if !SameShape(dst, a) || !SameShape(dst, b) {
 		return fmt.Errorf("tensor: addscaledinto shape mismatch %v, %v, %v", dst.shape, a.shape, b.shape)
 	}
-	dd, ad, bd := dst.data, a.data, b.data
-	for i := range dd {
-		dd[i] = ad[i] + s*bd[i]
-	}
+	addScaled(dst.data, a.data, s, b.data)
 	return nil
 }
 
@@ -407,7 +462,16 @@ func ApplyInto(dst, src *Tensor, f func(float64) float64) error {
 		return fmt.Errorf("tensor: applyinto shape mismatch %v vs %v", dst.shape, src.shape)
 	}
 	dd, sd := dst.data, src.data
-	for i := range dd {
+	i := 0
+	for ; i+4 <= len(dd); i += 4 {
+		d := dd[i : i+4]
+		s := sd[i : i+4]
+		d[0] = f(s[0])
+		d[1] = f(s[1])
+		d[2] = f(s[2])
+		d[3] = f(s[3])
+	}
+	for ; i < len(dd); i++ {
 		dd[i] = f(sd[i])
 	}
 	return nil

@@ -52,6 +52,18 @@ var kernelShapes = []struct{ m, k, n int }{
 	{5, 129, 300}, // wide/odd k and n: panels narrower than their rows
 	{130, 129, 257},
 	{64, 64, 64},
+	// Strip-edge shapes: one off either side of the 2-row × 4-column
+	// register strips, plus large panels with ragged tails on both axes.
+	{4, 4, 4},
+	{8, 8, 8},
+	{9, 8, 7},
+	{7, 9, 8},
+	{8, 7, 9},
+	{12, 5, 12},
+	{16, 3, 16},
+	{15, 2, 17},
+	{11, 513, 520}, // large panels with odd row count
+	{24, 300, 875}, // large panels with n%4 ≠ 0 tails
 }
 
 // TestKernelsBitIdenticalToSerial is the core determinism property: the
@@ -101,8 +113,16 @@ func TestKernelsBitIdenticalToSerial(t *testing.T) {
 // are partitioned across workers, including degenerate and uneven splits —
 // the property that makes Parallelism a pure scheduling knob.
 func TestKernelsSplitInvariant(t *testing.T) {
+	for _, s := range []struct{ m, k, n int }{
+		{37, 41, 23},   // 2×4 strips with ragged tails on both axes
+		{37, 512, 520}, // large streamed b panel (k·n past L2)
+	} {
+		t.Run("", func(t *testing.T) { testSplitInvariant(t, s.m, s.k, s.n) })
+	}
+}
+
+func testSplitInvariant(t *testing.T, m, k, n int) {
 	r := rand.New(rand.NewSource(12))
-	const m, k, n = 37, 41, 23
 	a := randMatrix(r, m, k)
 	b := randMatrix(r, k, n)
 	at := randMatrix(r, k, m)

@@ -1,0 +1,333 @@
+// Micro-kernel layer: register-blocked inner loops shared by the
+// float64 tensor kernels (kernels.go) and the float32 slice kernels
+// (f32.go). The panel entry points (mmPanel/atbPanel/abtPanel) compute
+// a contiguous range of output rows — the unit the worker pool hands
+// out — by walking the output in 2-row × 4-column register strips
+// whose accumulators live in named locals, so each a/b element loaded
+// from memory feeds up to 4 multiply-adds instead of one and each b
+// element is reused across both rows.
+//
+// Why 2×4: the strip keeps 8 accumulators + 4 b values + 2 a values
+// live, which fits amd64's 16 vector registers with room for the loop
+// carried state. Wider and taller tiles were measured and rejected on
+// this target (numbers in DESIGN.md §5): a 4×4 tile (16 accumulators)
+// and 2×8/4×8/8×8 variants all spill accumulators to the stack every
+// iteration, and benchmark at or below the plain scalar row kernel,
+// while 2×4 beats the scalar kernel by 1.4–1.9× across 64³, 256³ and
+// deep (32×1024×64) shapes for all three products.
+//
+// Two invariants carry over from the scalar kernels (DESIGN.md §5):
+//
+//   - Per-element accumulation order is ascending p, always. Strips
+//     reorder the (i,j) walk, never the reduction, so the blocked
+//     kernels are bit-identical to the serial references in float64
+//     at any parallelism — including signed zeros: under
+//     round-to-nearest a sum can only be −0 when both operands are
+//     −0, and the gate discards ±0 a-elements, so a register
+//     accumulator that starts at +0 is never −0 and assigning it
+//     equals accumulating it into a zeroed element, bit for bit.
+//     Assignment in turn lets every panel make one write-only pass
+//     over its output rows — no zeroing pass, no read-modify-write.
+//   - Zero skipping is per a-element, exactly like the references:
+//     MatMul/MatMulATB gate each strip row on `a != 0` so a zero
+//     contributes no term (which matters when b holds NaN/Inf), while
+//     ABT is a dense dot product with no gate, also like its reference.
+//
+// The same generic bodies instantiate for float32; the f32 results are
+// likewise bit-identical to a scalar float32 reference (same order,
+// same rounding), and differ from float64 only by the documented
+// rounding tolerance.
+package tensor
+
+// number is the dtype seam: every micro-kernel is written once against
+// this constraint and stenciled for float32 and float64.
+type number interface{ ~float32 | ~float64 }
+
+// --- MatMul: out[i,j] = Σ_p a[i,p]·b[p,j], a is m×k, b is k×n ---
+
+// mmPanel computes out rows [lo,hi) of a@b. Every element is assigned
+// exactly once from a register accumulator, so out need not be zeroed
+// and the kernel makes a single write-only pass over its panel.
+// Assignment is bitwise identical to zero-then-accumulate: a gated
+// ascending-p sum that starts at +0 can never round to −0, so
+// out[j] = c equals out[j] = 0 + c in every bit.
+func mmPanel[T number](a, b, out []T, k, n, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		o0 := out[(i+0)*n : (i+1)*n]
+		o1 := out[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			mm2x4(a0, a1, b, o0, o1, n, j)
+		}
+		if j < n {
+			mmRowTail(a0, b, o0, n, j)
+			mmRowTail(a1, b, o1, n, j)
+		}
+	}
+	if i < hi {
+		mmRowTail(a[i*k:(i+1)*k], b, out[i*n:(i+1)*n], n, 0)
+	}
+}
+
+// mm2x4 accumulates the 2×4 output strip at rows a0,a1, columns j..j+3.
+func mm2x4[T number](a0, a1, b, o0, o1 []T, n, j int) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	for p := 0; p < len(a0); p++ {
+		bp := b[p*n+j : p*n+j+4]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		if v := a0[p]; v != 0 {
+			c00 += v * b0
+			c01 += v * b1
+			c02 += v * b2
+			c03 += v * b3
+		}
+		if v := a1[p]; v != 0 {
+			c10 += v * b0
+			c11 += v * b1
+			c12 += v * b2
+			c13 += v * b3
+		}
+	}
+	o0[j+0] = c00
+	o0[j+1] = c01
+	o0[j+2] = c02
+	o0[j+3] = c03
+	o1[j+0] = c10
+	o1[j+1] = c11
+	o1[j+2] = c12
+	o1[j+3] = c13
+}
+
+// mmRowTail computes output columns [jlo,n) of one row: 1×4 register
+// strips while four columns remain, then one accumulator per trailing
+// column. Every element still reduces in ascending-p order gated on
+// the a element — the reference order — and is assigned once.
+func mmRowTail[T number](ai, b, oi []T, n, jlo int) {
+	j := jlo
+	for ; j+4 <= n; j += 4 {
+		var c0, c1, c2, c3 T
+		for p := 0; p < len(ai); p++ {
+			if v := ai[p]; v != 0 {
+				bp := b[p*n+j : p*n+j+4]
+				c0 += v * bp[0]
+				c1 += v * bp[1]
+				c2 += v * bp[2]
+				c3 += v * bp[3]
+			}
+		}
+		oi[j+0] = c0
+		oi[j+1] = c1
+		oi[j+2] = c2
+		oi[j+3] = c3
+	}
+	for ; j < n; j++ {
+		var c T
+		for p := 0; p < len(ai); p++ {
+			if av := ai[p]; av != 0 {
+				c += av * b[p*n+j]
+			}
+		}
+		oi[j] = c
+	}
+}
+
+// --- MatMulATB: out[i,j] = Σ_p a[p,i]·b[p,j], a is k×m, b is k×n ---
+
+// atbPanel computes out rows [lo,hi) of aᵀ@b. Like mmPanel it assigns
+// every element exactly once from a register accumulator, so out need
+// not be zeroed. Output row i reads column i of a; the 2-row strip
+// loads the adjacent pair a[p,i], a[p,i+1] with one contiguous slice
+// per p.
+func atbPanel[T number](a, b, out []T, k, m, n, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		o0 := out[(i+0)*n : (i+1)*n]
+		o1 := out[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			atb2x4(a, b, o0, o1, k, m, n, i, j)
+		}
+		if j < n {
+			atbColTail(a, b, o0, o1, k, m, n, i, j)
+		}
+	}
+	if i < hi {
+		atbRowTail(a, b, out[i*n:(i+1)*n], k, m, n, i)
+	}
+}
+
+// atbRowTail computes the full output row i: 1×4 register strips, then
+// one accumulator per trailing column.
+func atbRowTail[T number](a, b, oi []T, k, m, n, i int) {
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		var c0, c1, c2, c3 T
+		for p := 0; p < k; p++ {
+			if v := a[p*m+i]; v != 0 {
+				bp := b[p*n+j : p*n+j+4]
+				c0 += v * bp[0]
+				c1 += v * bp[1]
+				c2 += v * bp[2]
+				c3 += v * bp[3]
+			}
+		}
+		oi[j+0] = c0
+		oi[j+1] = c1
+		oi[j+2] = c2
+		oi[j+3] = c3
+	}
+	for ; j < n; j++ {
+		var c T
+		for p := 0; p < k; p++ {
+			if v := a[p*m+i]; v != 0 {
+				c += v * b[p*n+j]
+			}
+		}
+		oi[j] = c
+	}
+}
+
+// atb2x4 accumulates the 2×4 output strip at rows i,i+1, columns j..j+3.
+func atb2x4[T number](a, b, o0, o1 []T, k, m, n, i, j int) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	for p := 0; p < k; p++ {
+		ap := a[p*m+i : p*m+i+2]
+		bp := b[p*n+j : p*n+j+4]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		if v := ap[0]; v != 0 {
+			c00 += v * b0
+			c01 += v * b1
+			c02 += v * b2
+			c03 += v * b3
+		}
+		if v := ap[1]; v != 0 {
+			c10 += v * b0
+			c11 += v * b1
+			c12 += v * b2
+			c13 += v * b3
+		}
+	}
+	o0[j+0] = c00
+	o0[j+1] = c01
+	o0[j+2] = c02
+	o0[j+3] = c03
+	o1[j+0] = c10
+	o1[j+1] = c11
+	o1[j+2] = c12
+	o1[j+3] = c13
+}
+
+// atbColTail handles the ≤3 trailing output columns [jlo,n) for the
+// row pair i,i+1, one accumulator pair per column (ascending p, gated
+// per a element).
+func atbColTail[T number](a, b, o0, o1 []T, k, m, n, i, jlo int) {
+	for j := jlo; j < n; j++ {
+		var c0, c1 T
+		for p := 0; p < k; p++ {
+			ap := a[p*m+i : p*m+i+2]
+			bv := b[p*n+j]
+			if v := ap[0]; v != 0 {
+				c0 += v * bv
+			}
+			if v := ap[1]; v != 0 {
+				c1 += v * bv
+			}
+		}
+		o0[j] = c0
+		o1[j] = c1
+	}
+}
+
+// --- MatMulABT: out[i,j] = Σ_p a[i,p]·b[j,p], a is m×k, b is n×k ---
+
+// abtPanel computes out rows [lo,hi) of a@bᵀ. Dense dot products with
+// direct assignment: out need not be zeroed.
+func abtPanel[T number](a, b, out []T, k, n, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		o0 := out[(i+0)*n : (i+1)*n]
+		o1 := out[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			abt2x4(a0, a1,
+				b[(j+0)*k:(j+1)*k], b[(j+1)*k:(j+2)*k],
+				b[(j+2)*k:(j+3)*k], b[(j+3)*k:(j+4)*k],
+				o0, o1, j)
+		}
+		for ; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var c0, c1 T
+			for p := 0; p < len(bj); p++ {
+				c0 += a0[p] * bj[p]
+				c1 += a1[p] * bj[p]
+			}
+			o0[j] = c0
+			o1[j] = c1
+		}
+	}
+	if i < hi {
+		ai := a[i*k : (i+1)*k]
+		oi := out[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var c T
+			for p := 0; p < len(bj); p++ {
+				c += ai[p] * bj[p]
+			}
+			oi[j] = c
+		}
+	}
+}
+
+// abt2x4 computes the dense 2×4 dot-product strip at columns j..j+3.
+func abt2x4[T number](a0, a1, b0, b1, b2, b3, o0, o1 []T, j int) {
+	var c00, c01, c02, c03 T
+	var c10, c11, c12, c13 T
+	for p := 0; p < len(a0); p++ {
+		av0, av1 := a0[p], a1[p]
+		bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+		c00 += av0 * bv0
+		c01 += av0 * bv1
+		c02 += av0 * bv2
+		c03 += av0 * bv3
+		c10 += av1 * bv0
+		c11 += av1 * bv1
+		c12 += av1 * bv2
+		c13 += av1 * bv3
+	}
+	o0[j+0] = c00
+	o0[j+1] = c01
+	o0[j+2] = c02
+	o0[j+3] = c03
+	o1[j+0] = c10
+	o1[j+1] = c11
+	o1[j+2] = c12
+	o1[j+3] = c13
+}
+
+// --- Fused element-wise kernels ---
+
+// addScaled computes dst[i] = a[i] + s·b[i], 4-way unrolled. dst may
+// alias a and/or b (the in-place axpy of the aggregation path).
+func addScaled[T number](dst, a []T, s T, b []T) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d := dst[i : i+4]
+		av := a[i : i+4]
+		bv := b[i : i+4]
+		d[0] = av[0] + s*bv[0]
+		d[1] = av[1] + s*bv[1]
+		d[2] = av[2] + s*bv[2]
+		d[3] = av[3] + s*bv[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] + s*b[i]
+	}
+}

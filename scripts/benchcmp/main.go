@@ -1,0 +1,151 @@
+// Command benchcmp compares two `go test -bench` outputs and reports
+// per-benchmark ns/op deltas, so CI can hold the kernel benchmarks to a
+// regression budget across commits.
+//
+// Both inputs may be plain benchmark text or the test2json stream that
+// `go test -json -bench` emits (the format of the CI BENCH_<sha>.json
+// artifacts); the format is auto-detected per line. Benchmarks are
+// matched by name with the trailing -GOMAXPROCS suffix stripped; a name
+// present in only one input is reported and otherwise ignored (new
+// benchmarks must not fail the gate retroactively).
+//
+//	benchcmp -old BENCH_prev.txt -new BENCH_head.txt \
+//	    -filter 'MicroKernels|MatMul256' -max-regress 10 [-warn-only]
+//
+// The exit status is 1 when the geometric mean of the matched
+// new/old ns-per-op ratios regresses by more than -max-regress percent,
+// unless -warn-only downgrades that to a ::warning:: annotation
+// (GitHub-flavored; harmless noise elsewhere). Individual benchmarks
+// over the budget always get a ::warning:: line, because single-bench
+// swings on shared CI runners are usually scheduler noise — the geomean
+// is the signal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkMicroKernels/MatMul/f64/256-4   50   23456 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse reads a benchmark output file and returns name → ns/op. Lines
+// that are JSON objects are treated as test2json events and their
+// Output payload is scanned instead. Repeated names keep the minimum —
+// the least-interrupted run is the best estimate of the true cost.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Output string `json:"Output"`
+			}
+			if json.Unmarshal([]byte(line), &ev) != nil {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output (text or test2json)")
+	newPath := flag.String("new", "", "candidate benchmark output (text or test2json)")
+	filter := flag.String("filter", "", "regexp selecting benchmark names to compare (default: all)")
+	maxRegress := flag.Float64("max-regress", 10, "geomean regression budget in percent")
+	warnOnly := flag.Bool("warn-only", false, "annotate instead of failing when the budget is exceeded")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -old and -new are required")
+		os.Exit(2)
+	}
+	var keep *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if keep, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	oldNs, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		if keep == nil || keep.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	logSum, matched := 0.0, 0
+	fmt.Printf("%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nv := newNs[name]
+		ov, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("%-55s %12s %12.0f %8s\n", name, "—", nv, "new")
+			continue
+		}
+		ratio := nv / ov
+		pct := (ratio - 1) * 100
+		fmt.Printf("%-55s %12.0f %12.0f %+7.1f%%\n", name, ov, nv, pct)
+		if pct > *maxRegress {
+			fmt.Printf("::warning::%s regressed %.1f%% (%.0f → %.0f ns/op)\n", name, pct, ov, nv)
+		}
+		logSum += math.Log(ratio)
+		matched++
+	}
+	if matched == 0 {
+		fmt.Println("benchcmp: no overlapping benchmarks; nothing to compare")
+		return
+	}
+	geo := (math.Exp(logSum/float64(matched)) - 1) * 100
+	fmt.Printf("\ngeomean delta over %d benchmarks: %+.1f%% (budget %.0f%%)\n", matched, geo, *maxRegress)
+	if geo > *maxRegress {
+		msg := fmt.Sprintf("kernel benchmarks regressed %.1f%% geomean, over the %.0f%% budget", geo, *maxRegress)
+		if *warnOnly {
+			fmt.Printf("::warning::%s\n", msg)
+			return
+		}
+		fmt.Printf("::error::%s\n", msg)
+		os.Exit(1)
+	}
+}
