@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -16,6 +17,20 @@ import (
 // EventStream repairs before giving up; a successful frame resets the
 // budget.
 const maxReconnects = 5
+
+// maxReconnectWait caps the backoff between reconnect attempts.
+const maxReconnectWait = 3 * time.Second
+
+// reconnectBackoff is the wait before reconnect attempt `retry`
+// (1-based): linear 100ms·retry capped at maxReconnectWait, jittered
+// ±50% so the clients of a restarted server don't redial in lockstep.
+func reconnectBackoff(retry int) time.Duration {
+	base := time.Duration(retry) * 100 * time.Millisecond
+	if base > maxReconnectWait {
+		base = maxReconnectWait
+	}
+	return base/2 + rand.N(base)
+}
 
 // EventStream iterates a Server-Sent-Events progress stream. Next
 // returns one Event per frame and io.EOF after the server's terminal
@@ -71,9 +86,9 @@ func (s *EventStream) connect() error {
 }
 
 // reconnect tears down the dropped transport and dials again with a
-// small linear backoff. A definitive API answer (4xx — e.g. the job
-// was evicted from the server's retention between drops) aborts the
-// retries: it is the real cause, and repeating the request cannot
+// capped, jittered linear backoff. A definitive API answer (4xx — e.g.
+// the job was evicted from the server's retention between drops) aborts
+// the retries: it is the real cause, and repeating the request cannot
 // change it.
 func (s *EventStream) reconnect() error {
 	s.closeResp()
@@ -85,7 +100,7 @@ func (s *EventStream) reconnect() error {
 		select {
 		case <-s.ctx.Done():
 			return s.ctx.Err()
-		case <-time.After(time.Duration(s.retries) * 100 * time.Millisecond):
+		case <-time.After(reconnectBackoff(s.retries)):
 		}
 		err := s.connect()
 		if err == nil {

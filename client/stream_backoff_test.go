@@ -1,0 +1,38 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReconnectBackoffBounds pins the reconnect pacing contract: every
+// wait stays within ±50% of the linear base, the base is capped, and
+// the jitter actually spreads (a fleet of streams must not redial a
+// restarted server in lockstep).
+func TestReconnectBackoffBounds(t *testing.T) {
+	for retry := 1; retry <= maxReconnects; retry++ {
+		base := time.Duration(retry) * 100 * time.Millisecond
+		if base > maxReconnectWait {
+			base = maxReconnectWait
+		}
+		lo, hi := base/2, base+base/2
+		for i := 0; i < 200; i++ {
+			if d := reconnectBackoff(retry); d < lo || d > hi {
+				t.Fatalf("reconnectBackoff(%d) = %s, want within [%s, %s]", retry, d, lo, hi)
+			}
+		}
+	}
+	// The cap holds even for absurd retry counts.
+	if d := reconnectBackoff(1 << 20); d > maxReconnectWait+maxReconnectWait/2 {
+		t.Fatalf("reconnectBackoff(big) = %s, want capped near %s", d, maxReconnectWait)
+	}
+	// Spread: 50 draws at one retry level must not all collapse to a
+	// single value.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[reconnectBackoff(3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("reconnectBackoff shows no jitter across 50 draws")
+	}
+}

@@ -10,6 +10,9 @@
 //	feddg -version
 //	feddg serve  [-addr :8080] [-metrics-addr ADDR] [-log-level LEVEL]
 //	       [-cache DIR] [-cache-max-bytes N] [-workers N] [-api-keys FILE]
+//	       [-lease-ttl 15s] [-dispatch-only]
+//	feddg serve -worker -join URL [-worker-name NAME] [-slots N]
+//	       [-api-key KEY] [-cache DIR] [-metrics-addr ADDR]
 //	feddg submit -spec FILE|- [-server URL] [-api-key KEY] [-wait] [-priority N] [-parallelism N]
 //	feddg sweep  -sweep FILE|- [-server URL] [-api-key KEY] [-wait] [-watch] [-priority N] [-parallelism N]
 //	feddg watch  ID [-server URL] [-api-key KEY]
@@ -22,7 +25,13 @@
 //
 // `feddg serve` exposes the v2 experiment API (jobs, sweeps, SSE event
 // streams, model checkpoints) over HTTP/JSON and shuts down gracefully
-// on SIGINT/SIGTERM. With -metrics-addr it additionally serves the
+// on SIGINT/SIGTERM. The same server is a fleet coordinator: `feddg
+// serve -worker -join URL` nodes register with it, pull job leases
+// (sharded by content-address), execute them on their local engine,
+// and upload results + checkpoints; the coordinator requeues the
+// leases of crashed workers after -lease-ttl without a heartbeat, and
+// -dispatch-only turns off local execution so the coordinator only
+// schedules. With -metrics-addr it additionally serves the
 // operational endpoints (Prometheus /metrics, /debug/pprof/*,
 // /v1/healthz) on a second listener that operators can keep off the
 // public network. With -api-keys the API requires Authorization: Bearer
@@ -57,6 +66,7 @@ import (
 
 	"github.com/pardon-feddg/pardon/client"
 	"github.com/pardon-feddg/pardon/internal/attack"
+	"github.com/pardon-feddg/pardon/internal/dist"
 	"github.com/pardon-feddg/pardon/internal/engine"
 	"github.com/pardon-feddg/pardon/internal/eval"
 	"github.com/pardon-feddg/pardon/internal/telemetry"
@@ -188,9 +198,36 @@ func serve(args []string) error {
 		parFlag      = fs.Int("parallelism", 0, "per-job local-training goroutines (0 = NumCPU/workers); a pure CPU bound, never changes results")
 		precFlag     = fs.String("precision", "", "default compute dtype (f64|f32) for specs that don't set one; part of each job's identity, unlike -parallelism")
 		apiKeysFlag  = fs.String("api-keys", "", "tenant API-key JSON file; when set the API requires Authorization: Bearer and applies per-tenant rate limits and queue quotas")
+		leaseTTLFlag = fs.Duration("lease-ttl", dist.DefaultLeaseTTL, "fleet lease TTL: a leased job whose worker stops heartbeating this long is requeued")
+		dispatchFlag = fs.Bool("dispatch-only", false, "run no local training workers; jobs execute only on joined -worker nodes")
+		workerFlag   = fs.Bool("worker", false, "run as a fleet worker node instead of a coordinator (requires -join)")
+		joinFlag     = fs.String("join", "", "coordinator base URL to join as a worker")
+		nameFlag     = fs.String("worker-name", "", "stable worker node name for shard assignment and metrics (default: hostname)")
+		slotsFlag    = fs.Int("slots", 1, "worker mode: concurrent leases to execute")
+		apiKeyFlag   = fs.String("api-key", os.Getenv("FEDDG_API_KEY"), "worker mode: API key sent to the coordinator (default $FEDDG_API_KEY)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workerFlag {
+		// A worker node defaults to its own cache directory so a
+		// coordinator and a worker sharing a working directory don't
+		// share (and corrupt) one journal.
+		cacheSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "cache" {
+				cacheSet = true
+			}
+		})
+		if !cacheSet {
+			*cacheFlag = "feddg-worker-cache"
+		}
+		return serveWorker(workerConfig{
+			join: *joinFlag, name: *nameFlag, slots: *slotsFlag, apiKey: *apiKeyFlag,
+			cacheDir: *cacheFlag, cacheMax: *cacheMaxFlag, workers: *workersFlag,
+			parallelism: *parFlag, precision: *precFlag,
+			metricsAddr: *metricsFlag, logLevel: *logLevelFlag,
+		})
 	}
 	if *cacheMaxFlag > 0 && *cacheFlag == "" {
 		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
@@ -209,7 +246,11 @@ func serve(args []string) error {
 	// The engine logs through slog.Default(); a text handler at the
 	// chosen threshold makes every line grep-able by trace ID.
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
-	eng, err := engine.New(engine.Options{Workers: *workersFlag, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag, Precision: *precFlag})
+	engWorkers := *workersFlag
+	if *dispatchFlag {
+		engWorkers = -1 // no local pool: only joined fleet workers execute
+	}
+	eng, err := engine.New(engine.Options{Workers: engWorkers, CacheDir: *cacheFlag, CacheMaxBytes: *cacheMaxFlag, Parallelism: *parFlag, Precision: *precFlag})
 	if err != nil {
 		return err
 	}
@@ -226,9 +267,15 @@ func serve(args []string) error {
 	if tenants != nil {
 		serverOpts = append(serverOpts, engine.WithTenants(tenants))
 	}
+	api := engine.NewServer(eng, serverOpts...)
+	// Every coordinator accepts fleet workers; without any joined the
+	// engine's local pool behaves exactly as before.
+	coord := dist.NewCoordinator(eng, dist.Options{LeaseTTL: *leaseTTLFlag})
+	defer coord.Close() // before the deferred eng.Close (LIFO)
+	coord.Mount(api)
 	srv := &http.Server{
 		Addr:    *addrFlag,
-		Handler: engine.NewServer(eng, serverOpts...),
+		Handler: api,
 		// Request contexts derive from the signal context, so open SSE
 		// streams end when shutdown starts instead of pinning Shutdown
 		// until the grace period expires.
@@ -276,7 +323,91 @@ func serve(args []string) error {
 		_ = ops.Close()
 	}
 	// The deferred eng.Close() cancels pending and running jobs and
-	// drains the worker pool before the process exits.
+	// drains the worker pool before the process exits. The deferred
+	// coord.Close() runs first, stopping the lease reaper.
+	return nil
+}
+
+// workerConfig carries the `feddg serve -worker` flag values.
+type workerConfig struct {
+	join, name, apiKey            string
+	slots, workers, parallelism   int
+	cacheDir, precision, logLevel string
+	cacheMax                      int64
+	metricsAddr                   string
+}
+
+// serveWorker runs one fleet worker node: a local engine plus a pull
+// loop against the coordinator at -join, until SIGINT/SIGTERM. On a
+// graceful stop in-flight leases are abandoned back to the coordinator
+// so their jobs requeue immediately instead of waiting out the TTL.
+func serveWorker(cfg workerConfig) error {
+	if cfg.join == "" {
+		return fmt.Errorf("-worker needs -join URL (the coordinator's API address)")
+	}
+	if cfg.cacheMax > 0 && cfg.cacheDir == "" {
+		return fmt.Errorf("-cache-max-bytes caps the disk cache and needs -cache DIR")
+	}
+	name := cfg.name
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			return fmt.Errorf("-worker-name not set and hostname unavailable: %w", err)
+		}
+		name = host
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(cfg.logLevel)); err != nil {
+		return fmt.Errorf("-log-level %q: %w", cfg.logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	eng, err := engine.New(engine.Options{Workers: cfg.workers, CacheDir: cfg.cacheDir,
+		CacheMaxBytes: cfg.cacheMax, Parallelism: cfg.parallelism, Precision: cfg.precision})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	var clientOpts []client.Option
+	if cfg.apiKey != "" {
+		clientOpts = append(clientOpts, client.WithAPIKey(cfg.apiKey))
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{
+		Name:   name,
+		Client: client.New(cfg.join, clientOpts...),
+		Engine: eng,
+		Slots:  cfg.slots,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Same split as the coordinator: ops endpoints (worker-side metrics,
+	// pprof) on their own listener.
+	var ops *http.Server
+	if cfg.metricsAddr != "" {
+		ops = &http.Server{
+			Addr:        cfg.metricsAddr,
+			Handler:     engine.NewOpsMux(eng),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("feddg worker: ops listener: %v", err)
+			}
+		}()
+		log.Printf("feddg worker: ops endpoints (metrics, pprof, healthz) on %s", cfg.metricsAddr)
+	}
+	log.Printf("feddg worker: %s node %q joining %s (%d slot(s))", telemetry.Build(), name, cfg.join, max(cfg.slots, 1))
+	err = w.Run(ctx)
+	if ops != nil {
+		_ = ops.Close()
+	}
+	if err != nil && ctx.Err() == nil {
+		return err
+	}
+	log.Printf("feddg worker: node %q stopped", name)
 	return nil
 }
 

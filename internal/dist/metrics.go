@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"github.com/pardon-feddg/pardon/internal/telemetry"
+)
+
+// coordMetrics bundles the coordinator-side instruments. The worker
+// label is the operator-chosen node name (bounded by fleet size), never
+// the per-registration worker ID (unbounded across restarts).
+type coordMetrics struct {
+	workers      *telemetry.Gauge
+	workerLeases *telemetry.GaugeVec   // worker name
+	granted      *telemetry.CounterVec // worker name
+	completed    *telemetry.CounterVec // state: done|failed|cancelled
+	requeued     *telemetry.CounterVec // reason: expired|worker_lost|abandoned|boot
+	expired      *telemetry.Counter
+	heartbeats   *telemetry.Counter
+}
+
+func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
+	return &coordMetrics{
+		workers: reg.Gauge("dist_workers",
+			"Worker nodes currently registered with the coordinator."),
+		workerLeases: reg.GaugeVec("dist_worker_active_leases",
+			"Leases currently held, per worker name.", "worker"),
+		granted: reg.CounterVec("dist_leases_granted_total",
+			"Job leases granted to workers, per worker name.", "worker"),
+		completed: reg.CounterVec("dist_leases_completed_total",
+			"Leased jobs settled by their worker, by terminal state.", "state"),
+		requeued: reg.CounterVec("dist_leases_requeued_total",
+			"Leased jobs returned to the queue without an outcome, by reason (expired heartbeat, worker lost, worker abandoned on shutdown, coordinator reboot).", "reason"),
+		expired: reg.Counter("dist_leases_expired_total",
+			"Leases that outlived their TTL without a heartbeat."),
+		heartbeats: reg.Counter("dist_heartbeats_total",
+			"Worker heartbeats processed by the coordinator."),
+	}
+}
+
+// workerMetrics bundles the worker-side instruments, exported on the
+// worker engine's registry.
+type workerMetrics struct {
+	tierLookups *telemetry.CounterVec // tier: local|peer|miss
+	pulls       *telemetry.CounterVec // outcome: lease|idle|error
+	completions *telemetry.CounterVec // outcome: done|failed|cancelled|abandoned
+}
+
+func newWorkerMetrics(reg *telemetry.Registry) *workerMetrics {
+	return &workerMetrics{
+		tierLookups: reg.CounterVec("dist_tier_lookups_total",
+			"Tiered-store lookups for leased Specs, by the tier that answered (miss = the cell trains here).", "tier"),
+		pulls: reg.CounterVec("dist_worker_pulls_total",
+			"Lease-pull attempts against the coordinator, by outcome.", "outcome"),
+		completions: reg.CounterVec("dist_worker_completions_total",
+			"Lease completions reported to the coordinator, by outcome.", "outcome"),
+	}
+}

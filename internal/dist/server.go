@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/pardon-feddg/pardon/internal/engine"
+)
+
+// Fleet routes, mounted onto the engine's v2 API surface:
+//
+//	POST /v1/workers                          register a worker node
+//	GET  /v1/workers                          fleet view
+//	POST /v1/workers/{id}/lease               pull one lease (204 = no work)
+//	POST /v1/workers/{id}/heartbeat           renew leases + report progress
+//	POST /v1/workers/{id}/jobs/{job}/complete settle a lease
+//	PUT  /v1/workers/{id}/jobs/{job}/model    upload the lease's checkpoint blob
+//	GET  /v1/store/{key}                      peer-fetch a cached Result
+//	GET  /v1/store/{key}/model                peer-fetch a checkpoint blob (ETag/If-None-Match)
+//
+// Everything rides the server's normal middleware: with -api-keys set,
+// workers authenticate exactly like clients.
+
+// maxUploadBytes caps checkpoint uploads. The largest configured model
+// is a few MB of float64 parameters; 256 MiB keeps a confused worker
+// from buffering arbitrary payloads into the coordinator.
+const maxUploadBytes = 256 << 20
+
+// Mount registers the fleet routes on an engine API server.
+func (c *Coordinator) Mount(s *engine.Server) {
+	s.Handle("POST /v1/workers", c.handleRegister)
+	s.Handle("GET /v1/workers", c.handleFleet)
+	s.Handle("POST /v1/workers/{id}/lease", c.handleLease)
+	s.Handle("POST /v1/workers/{id}/heartbeat", c.handleHeartbeat)
+	s.Handle("POST /v1/workers/{id}/jobs/{job}/complete", c.handleComplete)
+	s.Handle("PUT /v1/workers/{id}/jobs/{job}/model", c.handleModelUpload)
+	s.Handle("GET /v1/store/{key}", c.handleStoreResult)
+	s.Handle("GET /v1/store/{key}/model", c.handleStoreModel)
+}
+
+// decodeInto reads a JSON body with strict fields, writing the error
+// response itself on failure. limit caps the body: registration and
+// heartbeat bodies are small, but a lease completion carries the full
+// Result — including a KeepModel run's parameter vector as JSON — and
+// gets the blob-sized allowance.
+func decodeInto(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		engine.WriteError(w, http.StatusBadRequest, engine.ErrCodeBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeCoordError maps coordinator errors onto the structured envelope.
+func writeCoordError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		engine.WriteError(w, http.StatusNotFound, engine.ErrCodeUnknownWorker, err.Error())
+	case errors.Is(err, ErrLeaseLost):
+		engine.WriteError(w, http.StatusConflict, engine.ErrCodeLeaseLost, err.Error())
+	case errors.Is(err, ErrVersionSkew):
+		engine.WriteError(w, http.StatusConflict, engine.ErrCodeVersionSkew, err.Error())
+	default:
+		engine.WriteError(w, http.StatusBadRequest, engine.ErrCodeBadRequest, err.Error())
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req engine.WorkerRegisterRequest
+	if !decodeInto(w, r, &req, 1<<20) {
+		return
+	}
+	resp, err := c.Register(req)
+	if err != nil {
+		writeCoordError(w, err)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	engine.WriteJSON(w, http.StatusOK, c.Fleet())
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	lease, err := c.Claim(strings.TrimSpace(r.PathValue("id")))
+	if err != nil {
+		writeCoordError(w, err)
+		return
+	}
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req engine.WorkerHeartbeatRequest
+	if !decodeInto(w, r, &req, 1<<20) {
+		return
+	}
+	resp, err := c.Heartbeat(strings.TrimSpace(r.PathValue("id")), req)
+	if err != nil {
+		writeCoordError(w, err)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req engine.LeaseCompleteRequest
+	if !decodeInto(w, r, &req, maxUploadBytes) {
+		return
+	}
+	if err := c.Complete(strings.TrimSpace(r.PathValue("id")), strings.TrimSpace(r.PathValue("job")), req); err != nil {
+		writeCoordError(w, err)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleModelUpload stores a leased job's checkpoint blob under its
+// content-address — called by the worker before the completion, so a
+// Done job's model is fetchable the moment its state flips.
+func (c *Coordinator) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	workerID := strings.TrimSpace(r.PathValue("id"))
+	jobID := strings.TrimSpace(r.PathValue("job"))
+	j, holder, ok := c.LeaseHolder(jobID)
+	if !ok || holder != workerID {
+		engine.WriteError(w, http.StatusConflict, engine.ErrCodeLeaseLost,
+			"job "+jobID+" is not leased to worker "+workerID)
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		engine.WriteError(w, http.StatusRequestEntityTooLarge, engine.ErrCodePayloadTooLarge, err.Error())
+		return
+	}
+	if err := c.eng.Store().PutBlob(j.Key, blob); err != nil {
+		engine.WriteError(w, http.StatusInternalServerError, engine.ErrCodeInternal, err.Error())
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStoreResult peer-serves a cached Result by content-address —
+// the second tier of a worker's store lookup.
+func (c *Coordinator) handleStoreResult(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimSpace(r.PathValue("key"))
+	res, ok, err := c.eng.Store().Get(key)
+	if err != nil {
+		engine.WriteError(w, http.StatusInternalServerError, engine.ErrCodeInternal, err.Error())
+		return
+	}
+	if !ok {
+		engine.WriteError(w, http.StatusNotFound, engine.ErrCodeNotFound, "no cached result for "+key)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, res)
+}
+
+// handleStoreModel peer-serves a checkpoint blob by content-address
+// with the same conditional-GET semantics as the job model route.
+func (c *Coordinator) handleStoreModel(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimSpace(r.PathValue("key"))
+	blob, ok, err := c.eng.ModelBlob(key)
+	if err != nil {
+		engine.WriteError(w, http.StatusInternalServerError, engine.ErrCodeInternal, err.Error())
+		return
+	}
+	if !ok {
+		engine.WriteError(w, http.StatusNotFound, engine.ErrCodeNotFound, "no checkpoint blob for "+key)
+		return
+	}
+	engine.WriteBlob(w, r, blob)
+}

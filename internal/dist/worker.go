@@ -1,0 +1,497 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"github.com/pardon-feddg/pardon/client"
+	"github.com/pardon-feddg/pardon/internal/engine"
+)
+
+// WorkerOptions configures a fleet worker node.
+type WorkerOptions struct {
+	// Name identifies the node to operators; keep it stable across
+	// restarts so shard assignment (rendezvous by name) stays put.
+	Name string
+	// Client talks to the coordinator (`-join` URL, plus API key when
+	// the coordinator authenticates).
+	Client *client.Client
+	// Engine executes leased Specs locally; its Store is the local
+	// cache tier.
+	Engine *engine.Engine
+	// Slots bounds how many leases run concurrently (0 = 1).
+	Slots int
+	// IdleWait paces lease pulls when the coordinator has no work
+	// (0 = 500ms); the actual wait is jittered ±50% so a fleet never
+	// polls in lockstep.
+	IdleWait time.Duration
+	// Log receives the worker's structured log lines; nil uses
+	// slog.Default().
+	Log *slog.Logger
+}
+
+// activeLease is one lease this worker is executing.
+type activeLease struct {
+	lease engine.LeaseView
+	// localID is the job ID on the worker's local engine (not the
+	// coordinator's), once training started.
+	localID string
+	round   int
+	rounds  int
+	// coordCancelled: the coordinator relayed a user cancel; the local
+	// job is being aborted and the completion reports Cancelled.
+	coordCancelled bool
+	// unknown: the coordinator no longer recognizes the lease (expired
+	// and requeued); abort locally and do not complete.
+	unknown bool
+}
+
+// Worker is one fleet node: it registers with the coordinator, pulls
+// leased Specs, executes them through its local engine (after the
+// tiered local-store / peer-store lookups), streams progress back via
+// heartbeats, and uploads results + model checkpoints.
+type Worker struct {
+	name  string
+	c     *client.Client
+	eng   *engine.Engine
+	slots int
+	idle  time.Duration
+	log   *slog.Logger
+	m     *workerMetrics
+
+	mu     sync.Mutex
+	id     string
+	ttl    time.Duration
+	active map[string]*activeLease // by coordinator job ID
+
+	// killed simulates a crash in tests: every loop exits immediately,
+	// no abandon messages are sent, leases die by TTL expiry.
+	killed chan struct{}
+}
+
+// NewWorker constructs a worker node (start it with Run).
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Client == nil || opts.Engine == nil {
+		return nil, fmt.Errorf("dist: worker needs a Client and an Engine")
+	}
+	name := opts.Name
+	if name == "" {
+		name = "worker"
+	}
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = 1
+	}
+	idle := opts.IdleWait
+	if idle <= 0 {
+		idle = 500 * time.Millisecond
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Worker{
+		name:   name,
+		c:      opts.Client,
+		eng:    opts.Engine,
+		slots:  slots,
+		idle:   idle,
+		log:    log,
+		m:      newWorkerMetrics(opts.Engine.Metrics()),
+		active: map[string]*activeLease{},
+		killed: make(chan struct{}),
+	}, nil
+}
+
+// workerID returns the current registration ID.
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// jitter spreads a wait ±50% so a fleet of workers never acts in
+// lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + rand.N(d)
+}
+
+// sleep waits a jittered d, interruptible by ctx or kill.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-w.killed:
+		return false
+	case <-time.After(jitter(d)):
+		return true
+	}
+}
+
+// register (re-)announces the worker to the coordinator, adopting a
+// fresh worker ID and the coordinator's lease TTL.
+func (w *Worker) register(ctx context.Context) error {
+	resp, err := w.c.RegisterWorker(ctx, engine.WorkerRegisterRequest{
+		Name:        w.name,
+		CodeVersion: engine.CodeVersion,
+		Slots:       w.slots,
+	})
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.id = resp.WorkerID
+	w.ttl = time.Duration(resp.LeaseTTLSec * float64(time.Second))
+	w.mu.Unlock()
+	w.log.Info("dist: worker registered", "worker", w.name, "worker_id", resp.WorkerID,
+		"lease_ttl_sec", resp.LeaseTTLSec)
+	return nil
+}
+
+// Run registers and then pulls/executes leases until ctx is cancelled.
+// On a graceful stop every in-flight lease is abandoned back to the
+// coordinator (best-effort) so its job requeues onto surviving nodes
+// instead of waiting out the lease TTL.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := w.register(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.log.Warn("dist: registration failed, retrying", "error", err)
+			if !w.sleep(ctx, w.idle) {
+				return ctx.Err()
+			}
+			continue
+		}
+		break
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() { defer hbWG.Done(); w.heartbeatLoop(hbCtx) }()
+
+	var execWG sync.WaitGroup
+	sem := make(chan struct{}, w.slots)
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-w.killed:
+			break loop
+		case sem <- struct{}{}:
+		}
+		lease, err := w.c.PullLease(ctx, w.workerID())
+		switch {
+		case err != nil:
+			<-sem
+			if ctx.Err() != nil {
+				break loop
+			}
+			w.m.pulls.With("error").Inc()
+			if isUnknownWorker(err) {
+				w.log.Warn("dist: coordinator dropped registration, re-registering")
+				w.abandonAllLocal()
+				if rerr := w.register(ctx); rerr != nil {
+					w.log.Warn("dist: re-registration failed", "error", rerr)
+				}
+				continue
+			}
+			w.log.Warn("dist: lease pull failed", "error", err)
+			if !w.sleep(ctx, w.idle) {
+				break loop
+			}
+		case lease == nil:
+			<-sem
+			w.m.pulls.With("idle").Inc()
+			if !w.sleep(ctx, w.idle) {
+				break loop
+			}
+		default:
+			w.m.pulls.With("lease").Inc()
+			w.mu.Lock()
+			w.active[lease.JobID] = &activeLease{lease: *lease}
+			w.mu.Unlock()
+			execWG.Add(1)
+			go func(lv engine.LeaseView) {
+				defer execWG.Done()
+				defer func() { <-sem }()
+				w.execute(ctx, lv)
+			}(*lease)
+		}
+	}
+
+	// Graceful wind-down: abort local runs, wait for the executors to
+	// observe it (they abandon their leases), then stop heartbeating.
+	// A killed worker skips all of this — that is the point.
+	select {
+	case <-w.killed:
+	default:
+		w.cancelAllLocal()
+	}
+	execWG.Wait()
+	stopHB()
+	hbWG.Wait()
+	return ctx.Err()
+}
+
+// kill simulates `kill -9` for tests: every loop exits without
+// abandoning leases, exactly like a dead process.
+func (w *Worker) kill() { close(w.killed) }
+
+// isUnknownWorker matches the coordinator's unknown_worker error code.
+func isUnknownWorker(err error) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Code == engine.ErrCodeUnknownWorker
+}
+
+// cancelAllLocal aborts every active lease's local job (graceful stop).
+func (w *Worker) cancelAllLocal() {
+	w.mu.Lock()
+	ids := make([]string, 0, len(w.active))
+	for _, al := range w.active {
+		if al.localID != "" {
+			ids = append(ids, al.localID)
+		}
+	}
+	w.mu.Unlock()
+	for _, id := range ids {
+		_ = w.eng.Cancel(id)
+	}
+}
+
+// abandonAllLocal drops every active lease without completing (the
+// coordinator already forgot us): local jobs are cancelled and the
+// executors see the unknown flag.
+func (w *Worker) abandonAllLocal() {
+	w.mu.Lock()
+	ids := make([]string, 0, len(w.active))
+	for _, al := range w.active {
+		al.unknown = true
+		if al.localID != "" {
+			ids = append(ids, al.localID)
+		}
+	}
+	w.mu.Unlock()
+	for _, id := range ids {
+		_ = w.eng.Cancel(id)
+	}
+}
+
+// heartbeatLoop renews the worker's leases at a third of the TTL,
+// relaying round progress up and cancel/unknown instructions down.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		ttl := w.ttl
+		w.mu.Unlock()
+		interval := ttl / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.killed:
+			return
+		case <-time.After(interval):
+		}
+		w.mu.Lock()
+		id := w.id
+		progress := make([]engine.LeaseProgress, 0, len(w.active))
+		for jobID, al := range w.active {
+			progress = append(progress, engine.LeaseProgress{JobID: jobID, Round: al.round, Rounds: al.rounds})
+		}
+		w.mu.Unlock()
+		resp, err := w.c.WorkerHeartbeat(ctx, id, progress)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.log.Warn("dist: heartbeat failed", "error", err)
+				if isUnknownWorker(err) {
+					w.abandonAllLocal()
+					if rerr := w.register(ctx); rerr != nil {
+						w.log.Warn("dist: re-registration failed", "error", rerr)
+					}
+				}
+			}
+			continue
+		}
+		w.applyInstructions(resp)
+	}
+}
+
+// applyInstructions handles a heartbeat response: cancel aborts the
+// local runs the user cancelled upstream; unknown abandons leases the
+// coordinator requeued elsewhere.
+func (w *Worker) applyInstructions(resp engine.WorkerHeartbeatResponse) {
+	var cancelLocal []string
+	w.mu.Lock()
+	for _, jobID := range resp.Cancel {
+		if al, ok := w.active[jobID]; ok && !al.coordCancelled {
+			al.coordCancelled = true
+			if al.localID != "" {
+				cancelLocal = append(cancelLocal, al.localID)
+			}
+		}
+	}
+	for _, jobID := range resp.Unknown {
+		if al, ok := w.active[jobID]; ok && !al.unknown {
+			al.unknown = true
+			if al.localID != "" {
+				cancelLocal = append(cancelLocal, al.localID)
+			}
+			w.log.Warn("dist: lease lost (expired upstream), aborting local run", "job", jobID)
+		}
+	}
+	w.mu.Unlock()
+	for _, id := range cancelLocal {
+		_ = w.eng.Cancel(id)
+	}
+}
+
+// execute runs one lease end-to-end: verify the content-address, try
+// the local store tier, then the coordinator's peer tier, and only on a
+// double miss train the Spec on the local engine; then upload the
+// checkpoint blob and settle the lease.
+func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
+	defer func() {
+		w.mu.Lock()
+		delete(w.active, lv.JobID)
+		w.mu.Unlock()
+	}()
+	workerID := w.workerID()
+
+	// The cheap end-to-end guard: the Spec must hash to the lease key on
+	// THIS binary too, or the fleet has version/default skew and this
+	// node would poison the content-addressed caches.
+	hash, err := lv.Spec.Hash()
+	if err == nil && hash != lv.Key {
+		err = fmt.Errorf("spec hashes to %.12s here but the lease says %.12s — version or default skew", hash, lv.Key)
+	}
+	if err != nil {
+		w.log.Error("dist: refusing lease", "job", lv.JobID, "error", err)
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Error: err.Error()}, "failed")
+		return
+	}
+
+	// Tier 1: local disk/memory store.
+	if res, ok, _ := w.eng.Store().Get(lv.Key); ok {
+		w.m.tierLookups.With("local").Inc()
+		if blob, ok, _ := w.eng.ModelBlob(lv.Key); ok {
+			w.upload(ctx, workerID, lv.JobID, blob)
+		}
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
+		return
+	}
+	// Tier 2: peer fetch from the coordinator's store. (The coordinator
+	// checked its own cache at submit, but results can land between the
+	// submit and this lease — another worker finishing the same address,
+	// an upload against an expired lease.)
+	if res, found, err := w.c.StoreResult(ctx, lv.Key); err == nil && found {
+		w.m.tierLookups.With("peer").Inc()
+		_ = w.eng.Store().Put(lv.Key, res) // warm the local tier
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
+		return
+	}
+	w.m.tierLookups.With("miss").Inc()
+
+	// Double miss: train locally under the lease's trace, so one grep
+	// follows the cell from coordinator submit to worker round loop.
+	j, err := w.eng.SubmitTraced(lv.Spec, lv.Priority, lv.TraceID)
+	if err != nil {
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Error: err.Error()}, "failed")
+		return
+	}
+	w.mu.Lock()
+	if al, ok := w.active[lv.JobID]; ok {
+		al.localID = j.ID
+		// Instructions that raced ahead of the local submit apply now.
+		if al.coordCancelled || al.unknown {
+			w.mu.Unlock()
+			_ = w.eng.Cancel(j.ID)
+		} else {
+			w.mu.Unlock()
+		}
+	} else {
+		w.mu.Unlock()
+	}
+
+	// Relay round progress into the heartbeat snapshot.
+	events := j.Subscribe()
+	progressDone := make(chan struct{})
+	go func() {
+		defer close(progressDone)
+		for ev := range events {
+			if ev.Round > 0 {
+				w.mu.Lock()
+				if al, ok := w.active[lv.JobID]; ok {
+					al.round, al.rounds = ev.Round, ev.Rounds
+				}
+				w.mu.Unlock()
+			}
+		}
+	}()
+	res, runErr := j.Wait(context.Background()) // terminal even on cancel; ctx aborts via eng.Cancel
+	<-progressDone
+
+	w.mu.Lock()
+	var coordCancelled, unknown bool
+	if al, ok := w.active[lv.JobID]; ok {
+		coordCancelled, unknown = al.coordCancelled, al.unknown
+	}
+	w.mu.Unlock()
+
+	switch {
+	case unknown:
+		// The coordinator requeued this job elsewhere; nothing to say.
+		w.m.completions.With("abandoned").Inc()
+	case runErr == nil:
+		if blob, ok, _ := w.eng.ModelBlob(lv.Key); ok {
+			w.upload(ctx, workerID, lv.JobID, blob)
+		}
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
+	case coordCancelled:
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Cancelled: true}, "cancelled")
+	case errors.Is(runErr, context.Canceled):
+		// Cancelled locally (graceful shutdown): hand the job back.
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Abandoned: true}, "abandoned")
+	default:
+		w.complete(lv.JobID, engine.LeaseCompleteRequest{Error: runErr.Error()}, "failed")
+	}
+}
+
+// upload pushes a checkpoint blob to the coordinator, best-effort: a
+// missing blob upstream degrades GET /model to 404, never the result.
+func (w *Worker) upload(ctx context.Context, workerID, jobID string, blob []byte) {
+	if err := w.c.UploadLeaseModel(ctx, workerID, jobID, blob); err != nil {
+		w.log.Warn("dist: model upload failed", "job", jobID, "error", err)
+	}
+}
+
+// complete settles a lease on the coordinator. It runs on a short
+// detached context so a worker shutting down can still deliver its
+// abandon/cancel messages; failures are logged — the lease TTL is the
+// backstop.
+func (w *Worker) complete(jobID string, req engine.LeaseCompleteRequest, outcome string) {
+	select {
+	case <-w.killed:
+		return // a "dead" worker says nothing
+	default:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.c.CompleteLease(ctx, w.workerID(), jobID, req); err != nil {
+		w.log.Warn("dist: lease completion failed", "job", jobID, "outcome", outcome, "error", err)
+		return
+	}
+	w.m.completions.With(outcome).Inc()
+}

@@ -76,7 +76,10 @@ func NewAlgorithm(name string) (fl.Algorithm, error) {
 // Options configures an Engine.
 type Options struct {
 	// Workers sizes the scheduler's worker pool; 0 means
-	// max(1, NumCPU/2).
+	// max(1, NumCPU/2). Negative means no local workers at all: a
+	// dispatch-only engine that queues and leases jobs to remote
+	// workers (ClaimRemote) but never trains in-process — the shape of
+	// a cluster coordinator.
 	Workers int
 	// CacheDir backs the result store on disk; "" keeps results in
 	// memory only.
@@ -152,6 +155,13 @@ type Engine struct {
 	batches    map[string]*Batch
 	batchOrder []string
 	nextBatch  int64
+
+	// bootLeases are the lease edges (job content-address → worker) that
+	// were live in the journal at boot: jobs a previous coordinator
+	// process had assigned to remote workers when it died. Replay has
+	// already re-enqueued the jobs; the coordinator reads this once to
+	// account for the implicit requeues.
+	bootLeases map[string]string
 }
 
 // New opens an Engine. A disk-backed engine (Options.CacheDir set)
@@ -177,7 +187,10 @@ func New(opts Options) (*Engine, error) {
 		store.SetMaxBytes(opts.CacheMaxBytes)
 	}
 	workers := opts.Workers
-	if workers <= 0 {
+	switch {
+	case workers < 0:
+		workers = 0 // dispatch-only: remote workers do all training
+	case workers == 0:
 		workers = runtime.NumCPU() / 2
 		if workers < 1 {
 			workers = 1
@@ -188,7 +201,7 @@ func New(opts Options) (*Engine, error) {
 		// Split the cores across the worker pool so a full pool of jobs
 		// lands near NumCPU training goroutines in total, not NumCPU
 		// per job.
-		par = (runtime.NumCPU() + workers - 1) / workers
+		par = (runtime.NumCPU() + max(workers, 1) - 1) / max(workers, 1)
 	}
 	m := newEngineMetrics(reg)
 	if _, err := nn.ParsePrecision(opts.Precision); err != nil {
@@ -225,6 +238,13 @@ func New(opts Options) (*Engine, error) {
 func (e *Engine) replayJournal() {
 	if e.journal == nil {
 		return
+	}
+	// Lease edges from the previous life are stale: their workers will
+	// re-register and re-pull. Capture them for the coordinator's requeue
+	// accounting, then sever them so the replayed jobs start unleased.
+	e.bootLeases = e.journal.liveLeases()
+	for key := range e.bootLeases {
+		e.journal.leaseReleased(key)
 	}
 	jobs, sweeps := e.journal.live()
 	replayedSweep := map[string]bool{}
@@ -692,4 +712,66 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 // a job's content-address, if one exists. Decode with nn.LoadModel.
 func (e *Engine) ModelBlob(key string) ([]byte, bool, error) {
 	return e.store.GetBlob(key)
+}
+
+// BootLeases returns the lease edges (job content-address → worker
+// name) that were live in the journal when this engine booted — in-
+// flight remote assignments of the previous process. The replay has
+// already requeued those jobs; the coordinator consumes this once for
+// its requeue counters.
+func (e *Engine) BootLeases() map[string]string { return e.bootLeases }
+
+// ClaimRemote leases the next queued job to a remote worker: the job
+// transitions to Running attributed to the worker, its journal gains a
+// lease edge, and subscribers see the start event exactly as they would
+// for a local run. prefer, when non-nil, picks shard-affine work first
+// (see Scheduler.claimRemote for its constraints); onCancel, when
+// non-nil, is invoked if a user cancels the job while leased, so the
+// coordinator can relay the cancel to the worker on its next heartbeat.
+func (e *Engine) ClaimRemote(worker string, prefer func(key string) bool, onCancel func(*Job)) (*Job, bool) {
+	j := e.sched.claimRemote(worker, prefer, onCancel)
+	return j, j != nil
+}
+
+// RequeueRemote returns a leased job to the queue (lease expired,
+// worker lost, or worker abandoned it on shutdown); reports whether the
+// job was actually requeued.
+func (e *Engine) RequeueRemote(j *Job) bool { return e.sched.requeueRemote(j) }
+
+// RemoteProgress merges a worker's round progress into the job's event
+// stream, so SSE subscribers of a coordinator see leased cells advance
+// exactly like local ones.
+func (e *Engine) RemoteProgress(j *Job, round, rounds int) {
+	if j == nil || round <= 0 {
+		return
+	}
+	j.progress(round, rounds)
+}
+
+// CompleteRemote settles a leased job with a remote outcome. A
+// successful result (and its optional model checkpoint blob) is
+// persisted to the Store under the job's content-address before the job
+// finishes, preserving the invariant that a Done job's result is
+// cached. jobErr wrapping context.Canceled marks the job Cancelled; any
+// other error marks it Failed. Late completions — the lease expired and
+// the job was requeued but not yet re-claimed — are accepted: the work
+// is done, content-addressing makes the outcome identical.
+func (e *Engine) CompleteRemote(j *Job, res *Result, blob []byte, jobErr error) error {
+	if jobErr == nil {
+		if res == nil {
+			return fmt.Errorf("engine: remote completion of job %s carries neither result nor error", j.ID)
+		}
+		persistStart := time.Now()
+		if err := e.store.Put(j.Key, res); err != nil {
+			return err
+		}
+		if len(blob) > 0 {
+			// Best-effort, like the local path: a full disk must not
+			// discard a completed run's metrics.
+			_ = e.store.PutBlob(j.Key, blob)
+		}
+		j.addPersist(time.Since(persistStart))
+	}
+	e.sched.completeRemote(j, res, jobErr)
+	return nil
 }

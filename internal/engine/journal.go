@@ -31,6 +31,13 @@ const (
 	journalOpSubmit = "submit"
 	journalOpStart  = "start"
 	journalOpDone   = "done"
+	// lease/release record which remote worker holds a job. A live lease
+	// without a matching release tells a rebooted coordinator the job was
+	// assigned to a worker when the process died; replay re-enqueues it
+	// and surfaces the stale assignment (Engine.BootLeases) so the
+	// coordinator can count the requeue.
+	journalOpLease   = "lease"
+	journalOpRelease = "release"
 )
 
 // Journal record kinds.
@@ -57,8 +64,10 @@ type journalRecord struct {
 	Spec       *Spec  `json:"spec,omitempty"`
 	Sweep      *Sweep `json:"sweep,omitempty"`
 	// State is the terminal state of a done record.
-	State State     `json:"state,omitempty"`
-	At    time.Time `json:"at"`
+	State State `json:"state,omitempty"`
+	// Worker names the remote worker of a lease record.
+	Worker string    `json:"worker,omitempty"`
+	At     time.Time `json:"at"`
 }
 
 // Journal is the engine's write-ahead job journal: an append-only JSONL
@@ -79,6 +88,7 @@ type Journal struct {
 	f       *os.File
 	jobs    map[string]journalRecord // live job submit records by content-address
 	sweeps  map[string]journalRecord // live sweep submit records by trace
+	leases  map[string]string        // live lease edges: job content-address → worker
 	order   []string                 // submission order of live keys ("j:"/"s:" prefixed)
 	appends int                      // since the last compaction
 	// compactEvery is journalCompactEvery, overridable by tests.
@@ -98,6 +108,7 @@ func openJournal(dir string, m *journalMetrics, log *slog.Logger) (*Journal, err
 		path:         path,
 		jobs:         map[string]journalRecord{},
 		sweeps:       map[string]journalRecord{},
+		leases:       map[string]string{},
 		compactEvery: journalCompactEvery,
 	}
 	if err := jl.load(); err != nil {
@@ -155,6 +166,11 @@ func (jl *Journal) applyLocked(rec journalRecord) {
 		jl.jobs[rec.Key] = rec
 	case rec.Kind == journalKindJob && rec.Op == journalOpDone:
 		delete(jl.jobs, rec.Key)
+		delete(jl.leases, rec.Key)
+	case rec.Kind == journalKindJob && rec.Op == journalOpLease && rec.Worker != "":
+		jl.leases[rec.Key] = rec.Worker
+	case rec.Kind == journalKindJob && rec.Op == journalOpRelease:
+		delete(jl.leases, rec.Key)
 	case rec.Kind == journalKindSweep && rec.Op == journalOpSubmit && rec.Sweep != nil:
 		if _, ok := jl.sweeps[rec.Key]; !ok {
 			jl.order = append(jl.order, "s:"+rec.Key)
@@ -245,6 +261,58 @@ func (jl *Journal) jobDone(key string, state State) {
 	jl.appendLocked(rec)
 }
 
+// jobLeased journals a remote worker acquiring the job's lease. No-op
+// for jobs the journal does not know.
+func (jl *Journal) jobLeased(key, worker string) {
+	if jl == nil || worker == "" {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if _, ok := jl.jobs[key]; !ok {
+		return
+	}
+	rec := journalRecord{Op: journalOpLease, Kind: journalKindJob, Key: key, Worker: worker}
+	jl.applyLocked(rec)
+	jl.appendLocked(rec)
+}
+
+// leaseReleased journals a lease edge being severed without the job
+// finishing (requeue after expiry or abandonment; terminal outcomes are
+// released implicitly by their done record). No-op when no lease is
+// live for the key.
+func (jl *Journal) leaseReleased(key string) {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if _, ok := jl.leases[key]; !ok {
+		return
+	}
+	rec := journalRecord{Op: journalOpRelease, Kind: journalKindJob, Key: key}
+	jl.applyLocked(rec)
+	jl.appendLocked(rec)
+}
+
+// liveLeases snapshots the live lease edges (job content-address →
+// worker name).
+func (jl *Journal) liveLeases() map[string]string {
+	if jl == nil {
+		return nil
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if len(jl.leases) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(jl.leases))
+	for k, w := range jl.leases {
+		out[k] = w
+	}
+	return out
+}
+
 // sweepSubmitted journals a sweep (keyed by batch trace) so a reboot
 // reconstitutes the whole Batch, not just its cells.
 func (jl *Journal) sweepSubmitted(trace, tenant string, priority int, sw Sweep) {
@@ -332,6 +400,16 @@ func (jl *Journal) compactLocked() {
 		}
 		w.Write(raw)
 		w.WriteByte('\n')
+		// A live lease edge survives compaction right behind its job's
+		// submit record, so a coordinator restart still sees who held it.
+		if k[0] == 'j' {
+			if worker, ok := jl.leases[k[2:]]; ok {
+				if lraw, err := json.Marshal(journalRecord{Op: journalOpLease, Kind: journalKindJob, Key: k[2:], Worker: worker, At: time.Now().UTC()}); err == nil {
+					w.Write(lraw)
+					w.WriteByte('\n')
+				}
+			}
+		}
 		kept = append(kept, k)
 	}
 	if err := w.Flush(); err != nil {

@@ -252,3 +252,102 @@ func TestJournalCorruptLineSkipAndCount(t *testing.T) {
 		t.Fatalf("journal_replayed_total{kind=job} = %d, want 1", got)
 	}
 }
+
+// TestJournalLeaseReplay is the distributed half of the durability
+// contract: a coordinator crash with jobs leased to remote workers must
+// replay exactly the UNSETTLED leases — their jobs re-enqueue and their
+// lease edges surface through BootLeases — while a remotely completed
+// job answers from the cache with zero extra training rounds.
+func TestJournalLeaseReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Workers: -1 — a dispatch-only coordinator; nothing runs locally,
+	// so claims and completions are fully under test control.
+	e1, err := New(Options{Workers: -1, CacheDir: dir, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+
+	specA, specB := tinySpec("FedAvg"), tinySpec("FedAvg")
+	specB.Seed = 2
+	jA, err := e1.Submit(specA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := e1.Submit(specB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease both jobs to a remote worker.
+	claimed := map[string]*Job{}
+	for i := 0; i < 2; i++ {
+		j, ok := e1.ClaimRemote("w1", nil, nil)
+		if !ok {
+			t.Fatalf("claim %d: queue empty, want a lease", i)
+		}
+		claimed[j.Key] = j
+	}
+	if claimed[jA.Key] == nil || claimed[jB.Key] == nil {
+		t.Fatalf("claimed keys %v, want both submitted jobs", claimed)
+	}
+	if got := claimed[jA.Key].Worker(); got != "w1" {
+		t.Fatalf("leased job worker = %q, want w1", got)
+	}
+
+	// The worker finishes A (with a checkpoint blob), then the
+	// coordinator "crashes" with B still leased.
+	resA := &Result{SpecHash: jA.Key, Method: "FedAvg",
+		Stats: []RoundStat{{Round: 1, ValAcc: 0.5, TestAcc: 0.5}}, ElapsedSec: 0.01}
+	if err := e1.CompleteRemote(claimed[jA.Key], resA, []byte("blob-a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if jA.State() != StateDone {
+		t.Fatalf("remotely completed job state = %s, want done", jA.State())
+	}
+	e1.Close()
+
+	e2, err := New(Options{Workers: -1, CacheDir: dir, Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+
+	// Only B's lease edge survives; A settled.
+	boot := e2.BootLeases()
+	if len(boot) != 1 || boot[jB.Key] != "w1" {
+		t.Fatalf("boot leases = %v, want {%.12s: w1}", boot, jB.Key)
+	}
+	// The boot severed the edges: a second crash would not replay them.
+	if live := e2.journal.liveLeases(); live != nil {
+		t.Fatalf("live leases after boot = %v, want none", live)
+	}
+	if got := e2.journal.metrics.replayed.With("job").Value(); got != 1 {
+		t.Fatalf("journal_replayed_total{kind=job} = %d, want 1 (only the leased job)", got)
+	}
+
+	// The replayed B is queued and claimable by a (new) worker.
+	j2, ok := e2.ClaimRemote("w2", nil, nil)
+	if !ok {
+		t.Fatal("replayed leased job not claimable")
+	}
+	if j2.Key != jB.Key {
+		t.Fatalf("replayed claim key %.12s, want %.12s", j2.Key, jB.Key)
+	}
+
+	// A answers from the cache: no duplicate training rounds anywhere.
+	jA2, err := e2.Submit(specA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jA2.State() != StateDone || !jA2.Cached() {
+		t.Fatalf("resubmitted completed job state=%s cached=%v, want done from cache", jA2.State(), jA2.Cached())
+	}
+	st := e2.Stats()
+	if st.CacheHits != 1 || st.RoundsExecuted != 0 {
+		t.Fatalf("stats after replay = %+v, want 1 cache hit and 0 rounds trained", st)
+	}
+	if blob, ok, _ := e2.ModelBlob(jA.Key); !ok || string(blob) != "blob-a" {
+		t.Fatalf("checkpoint blob after reboot = %q/%v, want blob-a", blob, ok)
+	}
+}

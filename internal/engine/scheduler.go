@@ -87,6 +87,7 @@ type Job struct {
 	priority int
 	submits  int
 	cached   bool
+	worker   string // remote worker executing the job ("" = local pool)
 	started  time.Time
 	finished time.Time
 	round    int
@@ -130,6 +131,14 @@ func (j *Job) Cached() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.cached
+}
+
+// Worker returns the name of the remote worker currently executing the
+// job, or "" when the job runs (or ran) on the local pool.
+func (j *Job) Worker() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -623,6 +632,200 @@ func (s *Scheduler) worker() {
 		}
 		s.release(j)
 	}
+}
+
+// claimRemote leases the next queued job to a remote worker. prefer,
+// when non-nil, is consulted first: the highest-priority queued job
+// whose content-address it accepts is claimed regardless of tenant
+// fairness (shard affinity beats fair-share for remote pulls — the
+// fleet as a whole still drains every tenant). With no preferred job
+// the normal fair-share dequeue applies, so a worker never idles while
+// work is queued. onCancel, when non-nil, becomes the job's cancel
+// hook so a user cancel propagates to the lease. Returns nil when the
+// queue is empty or the scheduler is draining.
+//
+// prefer runs with s.mu held: it must not block or call back into the
+// scheduler or engine.
+func (s *Scheduler) claimRemote(worker string, prefer func(key string) bool, onCancel func(*Job)) *Job {
+	for {
+		s.mu.Lock()
+		if s.closed || s.queued == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		j := s.popPreferredLocked(prefer)
+		var funcJobs []*Job
+		if j == nil {
+			// Func jobs (SubmitFunc, nil Spec) have no wire form and run
+			// only on the local pool: skim past them, then put them back.
+			for {
+				j = s.dequeueLocked()
+				if j == nil || j.Spec != nil {
+					break
+				}
+				funcJobs = append(funcJobs, j)
+			}
+		}
+		for _, fj := range funcJobs {
+			q := s.queueForLocked(fj.Tenant)
+			heap.Push(q, fj)
+			s.queued++
+			s.metrics.queueDepth.With(fj.Tenant).Set(int64(q.Len()))
+		}
+		if len(funcJobs) > 0 {
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+		if j == nil {
+			return nil
+		}
+		j.mu.Lock()
+		if j.state != StateQueued { // cancelled while queued
+			j.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		j.worker = worker
+		if onCancel != nil {
+			jj := j
+			j.cancel = func() { onCancel(jj) }
+		}
+		j.emitLocked()
+		queueSec := j.started.Sub(j.Created).Seconds()
+		j.mu.Unlock()
+		s.journal.jobStarted(j.Key)
+		s.journal.jobLeased(j.Key, worker)
+		method := methodLabel(j)
+		s.metrics.queueWait.With(method).Observe(queueSec)
+		s.log.Info("engine: job leased to worker",
+			"trace", j.TraceID, "job", j.ID, "worker", worker, "method", method, "queue_sec", queueSec)
+		return j
+	}
+}
+
+// popPreferredLocked removes the best (priority, then FIFO) queued job
+// whose content-address prefer accepts; s.mu must be held. Scanning the
+// raw heap slices is fine: priority writes are guarded by s.mu, and a
+// job cancelled-while-queued is filtered by the caller's state check.
+func (s *Scheduler) popPreferredLocked(prefer func(string) bool) *Job {
+	if prefer == nil {
+		return nil
+	}
+	var best *Job
+	var bestQ *jobQueue
+	for _, q := range s.queues {
+		for _, j := range *q {
+			if j.Spec == nil || !prefer(j.Key) { // func jobs are local-only
+				continue
+			}
+			if best == nil || j.priority > best.priority || (j.priority == best.priority && j.seq < best.seq) {
+				best, bestQ = j, q
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	heap.Remove(bestQ, best.heapIdx)
+	s.queued--
+	s.metrics.queueDepth.With(best.Tenant).Set(int64(bestQ.Len()))
+	return best
+}
+
+// requeueRemote returns a remotely leased job to the queue — the lease
+// expired or its worker abandoned it — so another claimant (remote or
+// local) picks it up. A job no longer Running (settled by a late
+// completion, or cancelled) is left alone. On a draining scheduler the
+// job instead finishes as a drain-cancellation: its journal record
+// stays live and the next boot re-enqueues it.
+func (s *Scheduler) requeueRemote(j *Job) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		j.mu.Lock()
+		finished := false
+		if j.state == StateRunning {
+			j.finishLocked(StateCancelled, nil, fmt.Errorf("engine: job %s requeued while draining: %w", j.ID, context.Canceled))
+			finished = true
+		}
+		j.mu.Unlock()
+		if finished {
+			s.metrics.jobsCompleted.With(string(StateCancelled), j.Tenant).Inc()
+			s.release(j)
+		}
+		return false
+	}
+	j.mu.Lock()
+	if j.state != StateRunning || j.worker == "" {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
+	worker := j.worker
+	j.state = StateQueued
+	j.worker = ""
+	j.started = time.Time{}
+	j.cancel = nil
+	j.emitLocked()
+	q := s.queueForLocked(j.Tenant)
+	heap.Push(q, j)
+	s.queued++
+	s.metrics.queueDepth.With(j.Tenant).Set(int64(q.Len()))
+	s.cond.Signal()
+	j.mu.Unlock()
+	s.mu.Unlock()
+	s.journal.leaseReleased(j.Key)
+	s.log.Info("engine: leased job requeued", "trace", j.TraceID, "job", j.ID, "worker", worker)
+	return true
+}
+
+// completeRemote settles a leased job with a remote outcome. It accepts
+// any non-terminal job: a still-leased job is the normal path, and a
+// job requeued after lease expiry can still be settled by the original
+// worker's late result (the queue pop skips non-queued jobs). Returns
+// false if the job was already terminal.
+func (s *Scheduler) completeRemote(j *Job, res *Result, jobErr error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	worker := j.worker
+	started := j.started
+	switch {
+	case jobErr == nil:
+		j.finishLocked(StateDone, res, nil)
+	case errors.Is(jobErr, context.Canceled):
+		j.finishLocked(StateCancelled, nil, jobErr)
+	default:
+		j.finishLocked(StateFailed, nil, jobErr)
+	}
+	state := j.state
+	runSec := 0.0
+	if !started.IsZero() {
+		runSec = j.finished.Sub(started).Seconds()
+	}
+	j.mu.Unlock()
+	method := methodLabel(j)
+	s.metrics.runSeconds.With(method).Observe(runSec)
+	s.metrics.jobsCompleted.With(string(state), j.Tenant).Inc()
+	// Drain cancellations stay live in the journal (same contract as the
+	// local worker loop): the job must re-enqueue on the next boot.
+	if !(state == StateCancelled && s.isClosed()) {
+		s.journal.jobDone(j.Key, state)
+	}
+	s.journal.leaseReleased(j.Key)
+	if jobErr != nil {
+		s.log.Warn("engine: remote job finished",
+			"trace", j.TraceID, "job", j.ID, "worker", worker, "method", method, "state", state,
+			"run_sec", runSec, "error", jobErr)
+	} else {
+		s.log.Info("engine: remote job finished",
+			"trace", j.TraceID, "job", j.ID, "worker", worker, "method", method, "state", state, "run_sec", runSec)
+	}
+	s.release(j)
+	return true
 }
 
 // jobQueue is a priority heap: higher priority first, FIFO within a

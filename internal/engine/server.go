@@ -2,6 +2,8 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -114,6 +116,25 @@ func tenantFrom(r *http.Request) string {
 // deliberately not counted).
 func (s *Server) handle(pattern string, h http.HandlerFunc)     { s.register(pattern, h, true) }
 func (s *Server) handleOpen(pattern string, h http.HandlerFunc) { s.register(pattern, h, false) }
+
+// Handle registers an additional authenticated route on the server's
+// mux with the same auth/rate-limit/metrics middleware as the built-in
+// API — how subsystems layered on the engine (the cluster coordinator's
+// worker and store routes) join the v2 surface instead of running a
+// second listener.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) { s.handle(pattern, h) }
+
+// Engine returns the engine this server fronts.
+func (s *Server) Engine() *Engine { return s.engine }
+
+// WriteJSON writes a JSON response body — exported for handlers
+// registered via Handle so extensions speak the same wire dialect.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the structured v2 error envelope.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeError(w, status, code, msg)
+}
 
 func (s *Server) register(pattern string, h http.HandlerFunc, authed bool) {
 	latency := s.metrics.latency.With(pattern)
@@ -260,6 +281,19 @@ const (
 	// ErrCodeQuotaExceeded: the tenant already has its quota of jobs
 	// queued (HTTP 429) — retry after some drain.
 	ErrCodeQuotaExceeded = "quota_exceeded"
+	// ErrCodeUnknownWorker: the worker ID is not (or no longer)
+	// registered with the coordinator (HTTP 404) — re-register and
+	// resume pulling.
+	ErrCodeUnknownWorker = "unknown_worker"
+	// ErrCodeLeaseLost: the lease this request settles is no longer held
+	// by the calling worker (expired and requeued, or cancelled) —
+	// HTTP 409; drop the work, its result is preserved if uploaded.
+	ErrCodeLeaseLost = "lease_lost"
+	// ErrCodeVersionSkew: a worker's CodeVersion differs from the
+	// coordinator's (HTTP 409). Mixed-version fleets would compute
+	// different bytes for the same content-address, so they are refused
+	// at registration.
+	ErrCodeVersionSkew = "version_skew"
 )
 
 // APIError is the machine-readable error of the v2 envelope.
@@ -327,6 +361,9 @@ type JobView struct {
 	// Tenant is the authenticated tenant that first submitted the job
 	// ("anonymous" when auth is off).
 	Tenant string `json:"tenant,omitempty"`
+	// Worker names the remote worker the job is (or was last) leased to;
+	// empty for jobs that ran on the local pool.
+	Worker string `json:"worker,omitempty"`
 	// Timing is the phase wall-clock breakdown (queued / running /
 	// persisting); phases that have not happened read zero.
 	Timing *JobTiming `json:"timing,omitempty"`
@@ -405,6 +442,7 @@ func (s *Server) view(j *Job, withResult bool) JobView {
 		Created:  j.Created,
 		TraceID:  j.TraceID,
 		Tenant:   j.Tenant,
+		Worker:   j.worker,
 	}
 	tm := j.timingLocked()
 	v.Timing = &tm
@@ -774,9 +812,51 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, ErrCodeNoModel, "no model checkpoint for job "+j.ID)
 		return
 	}
+	writeBlob(w, r, blob)
+}
+
+// WriteBlob serves a blob with the conditional-GET semantics of
+// writeBlob — exported for Handle-registered extensions (the
+// coordinator's peer-fetch store routes).
+func WriteBlob(w http.ResponseWriter, r *http.Request, blob []byte) { writeBlob(w, r, blob) }
+
+// writeBlob serves a checkpoint blob with a strong ETag over its bytes,
+// honoring If-None-Match so a peer (or any caching client) that already
+// holds the bytes pays one round-trip and zero body transfer, and an
+// explicit Content-Length so receivers can preallocate and verify.
+func writeBlob(w http.ResponseWriter, r *http.Request, blob []byte) {
+	sum := sha256.Sum256(blob)
+	etag := `"` + hex.EncodeToString(sum[:]) + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(blob)
+}
+
+// etagMatch reports whether an If-None-Match header value matches the
+// entity tag: "*" matches anything, otherwise any listed tag compares
+// equal (weak-validator prefixes are tolerated — byte-identical blobs
+// are trivially semantically identical).
+func etagMatch(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	if strings.TrimSpace(ifNoneMatch) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -155,6 +156,45 @@ func TestServeModelEndpoint(t *testing.T) {
 	}
 	if m.NumParams() == 0 {
 		t.Fatal("decoded model is empty")
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(blob)) {
+		t.Fatalf("Content-Length %q, want %d", cl, len(blob))
+	}
+	etag := resp.Header.Get("ETag")
+	if len(etag) < 2 || etag[0] != '"' {
+		t.Fatalf("ETag %q, want a strong quoted validator", etag)
+	}
+
+	// A conditional re-fetch with the blob's validator transfers nothing.
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+done.ID+"/model", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	cond, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("conditional model fetch = %d with %d bytes, want 304 empty", cond.StatusCode, len(body))
+	}
+	if cond.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag %q, want %q", cond.Header.Get("ETag"), etag)
+	}
+
+	// A stale validator (or a weak/multi-value header naming others)
+	// still gets the bytes.
+	req.Header.Set("If-None-Match", `W/"deadbeef", "cafebabe"`)
+	stale, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(stale.Body)
+	stale.Body.Close()
+	if stale.StatusCode != http.StatusOK || !bytes.Equal(body, blob) {
+		t.Fatalf("stale conditional fetch = %d with %d bytes, want 200 with the blob", stale.StatusCode, len(body))
 	}
 
 	// A func job finishes without a checkpoint: 404, not 500.
