@@ -1,0 +1,40 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+
+	"github.com/pardon-feddg/pardon/internal/engine"
+	"github.com/pardon-feddg/pardon/internal/telemetry"
+)
+
+// Observability wire types, aliased like the rest of the SDK.
+type (
+	// Span is one timed operation of a job's distributed trace.
+	Span = telemetry.Span
+	// TraceView is the GET /v1/traces/{id} body: the merged
+	// coordinator+worker span timeline of one trace.
+	TraceView = engine.TraceView
+	// TopView is the GET /v1/top body: one fleet-dashboard snapshot.
+	TopView = engine.TopView
+)
+
+// Trace fetches the merged span timeline for a trace or job ID. On a
+// cluster the timeline interleaves coordinator spans (queue, lease)
+// with the executing worker's spans (rounds, tier lookups, upload),
+// all shipped back over the lease heartbeats.
+func (c *Client) Trace(ctx context.Context, id string) (TraceView, error) {
+	var v TraceView
+	err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &v)
+	return v, err
+}
+
+// Top fetches one fleet-dashboard snapshot: registered workers with
+// rolling round latencies and straggler verdicts, per-tenant queue
+// depths, and the slowest recent spans. `feddg top` polls this.
+func (c *Client) Top(ctx context.Context) (TopView, error) {
+	var v TopView
+	err := c.do(ctx, http.MethodGet, "/v1/top", nil, &v)
+	return v, err
+}

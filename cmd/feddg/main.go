@@ -16,6 +16,8 @@
 //	feddg submit -spec FILE|- [-server URL] [-api-key KEY] [-wait] [-priority N] [-parallelism N]
 //	feddg sweep  -sweep FILE|- [-server URL] [-api-key KEY] [-wait] [-watch] [-priority N] [-parallelism N]
 //	feddg watch  ID [-server URL] [-api-key KEY]
+//	feddg trace  job-N|TRACE_ID [-server URL] [-api-key KEY]
+//	feddg top    [-server URL] [-api-key KEY] [-interval 2s] [-once]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig3 fig4 fig5
 // fig6 fig7 fig8 all. Image artifacts (figs 6–8) and CSV surfaces (fig1)
@@ -41,9 +43,12 @@
 // submit`, `feddg sweep`, and `feddg watch` are thin wrappers over the
 // typed client package speaking to a remote server: submit one Spec,
 // submit a parameter grid, or follow live per-round progress of a job
-// (job-N) or sweep (sweep-N). The key flows from -api-key or the
-// FEDDG_API_KEY environment variable. See README.md for the job
-// lifecycle and wire format.
+// (job-N) or sweep (sweep-N). `feddg trace` renders a job's merged
+// coordinator+worker span timeline as a waterfall, and `feddg top` is
+// a live fleet dashboard (workers, leases, queue depth, stragglers,
+// slowest spans). The key flows from -api-key or the FEDDG_API_KEY
+// environment variable. See README.md for the job lifecycle and wire
+// format.
 package main
 
 import (
@@ -93,6 +98,10 @@ func run() error {
 			return sweepCmd(os.Args[2:])
 		case "watch":
 			return watchCmd(os.Args[2:])
+		case "trace":
+			return traceCmd(os.Args[2:])
+		case "top":
+			return topCmd(os.Args[2:])
 		}
 	}
 	var (

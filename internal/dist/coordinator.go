@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/pardon-feddg/pardon/internal/engine"
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // DefaultLeaseTTL is how long a lease survives without a heartbeat
@@ -81,6 +83,7 @@ type leaseState struct {
 	job        *engine.Job
 	workerID   string
 	workerName string
+	granted    time.Time
 	expires    time.Time
 	// cancelled marks a user cancel that arrived while leased; relayed
 	// to the worker on its next heartbeat and settled when the worker
@@ -91,10 +94,11 @@ type leaseState struct {
 // Coordinator owns the worker registry and the lease table over an
 // Engine's queue. All methods are safe for concurrent use.
 type Coordinator struct {
-	eng *engine.Engine
-	ttl time.Duration
-	log *slog.Logger
-	m   *coordMetrics
+	eng   *engine.Engine
+	ttl   time.Duration
+	log   *slog.Logger
+	m     *coordMetrics
+	stats *stragglerStats
 
 	mu      sync.Mutex
 	workers map[string]*workerState // by worker ID
@@ -123,6 +127,7 @@ func NewCoordinator(eng *engine.Engine, opts Options) *Coordinator {
 		ttl:     ttl,
 		log:     log,
 		m:       newCoordMetrics(eng.Metrics()),
+		stats:   newStragglerStats(),
 		workers: map[string]*workerState{},
 		leases:  map[string]*leaseState{},
 		stop:    make(chan struct{}),
@@ -244,7 +249,8 @@ func (c *Coordinator) Claim(workerID string) (*engine.LeaseView, error) {
 		c.m.requeued.With("worker_lost").Inc()
 		return nil, ErrUnknownWorker
 	}
-	ls := &leaseState{job: j, workerID: workerID, workerName: self, expires: time.Now().Add(c.ttl)}
+	now := time.Now()
+	ls := &leaseState{job: j, workerID: workerID, workerName: self, granted: now, expires: now.Add(c.ttl)}
 	c.leases[j.ID] = ls
 	w.leases[j.ID] = ls
 	c.m.granted.With(self).Inc()
@@ -257,8 +263,73 @@ func (c *Coordinator) Claim(workerID string) (*engine.LeaseView, error) {
 		TraceID:  j.TraceID,
 		Priority: j.Priority(),
 		Spec:     *j.Spec,
-		TTLSec:   c.ttl.Seconds(),
+		// The job's run span is the lease span the scheduler records at
+		// settle; handing its ID out lets the worker parent everything it
+		// ships under this claim.
+		SpanID: j.RunSpanID(),
+		TTLSec: c.ttl.Seconds(),
 	}, nil
+}
+
+// maxSpansPerMessage caps how many spans one heartbeat/complete payload
+// may merge — a worker gone weird cannot balloon the coordinator's
+// bounded trace store faster than its own trace's ring allows anyway,
+// but the cap also keeps payload decode time flat.
+const maxSpansPerMessage = 512
+
+// mergeLeaseSpans merges spans a worker shipped for one lease into the
+// job's trace, feeding newly seen round spans into the straggler
+// statistics. Only spans of the lease's own trace are accepted, and the
+// store's span-ID dedup makes at-least-once delivery exact: a resent
+// span neither duplicates the timeline nor double-counts a round.
+func (c *Coordinator) mergeLeaseSpans(ls *leaseState, spans []telemetry.Span) {
+	if len(spans) > maxSpansPerMessage {
+		spans = spans[:maxSpansPerMessage]
+	}
+	for _, sp := range spans {
+		if sp.TraceID != ls.job.TraceID || sp.DurationSec < 0 {
+			continue
+		}
+		if !c.eng.Traces().Add(sp) {
+			continue
+		}
+		if strings.HasPrefix(sp.Name, "round-") && sp.DurationSec > 0 {
+			c.stats.observeRound(ls.workerName, sp.DurationSec)
+			c.m.roundSeconds.With(ls.workerName).Observe(sp.DurationSec)
+		}
+	}
+}
+
+// settleLeaseStats records a lease's grant→settle latency.
+func (c *Coordinator) settleLeaseStats(ls *leaseState) {
+	if ls.granted.IsZero() {
+		return
+	}
+	sec := time.Since(ls.granted).Seconds()
+	c.stats.observeLease(ls.workerName, sec)
+	c.m.leaseSeconds.With(ls.workerName).Observe(sec)
+}
+
+// checkStragglers re-evaluates the fleet's straggler verdicts (reaper
+// tick), updating the dist_worker_slow gauge and logging transitions.
+func (c *Coordinator) checkStragglers() {
+	verdicts, became, recovered := c.stats.evaluate()
+	for name, slow := range verdicts {
+		v := int64(0)
+		if slow {
+			v = 1
+		}
+		c.m.workerSlow.With(name).Set(v)
+	}
+	for _, name := range became {
+		p50, p95, n := c.stats.roundQuantiles(name)
+		c.log.Warn("dist: worker flagged as straggler",
+			"worker", name, "round_p50_sec", p50, "round_p95_sec", p95, "samples", n)
+	}
+	for _, name := range recovered {
+		p50, _, _ := c.stats.roundQuantiles(name)
+		c.log.Info("dist: worker recovered from straggler state", "worker", name, "round_p50_sec", p50)
+	}
 }
 
 // onJobCancel is installed as every leased job's cancel hook: a user
@@ -288,7 +359,12 @@ func (c *Coordinator) Heartbeat(workerID string, req engine.WorkerHeartbeatReque
 		job           *engine.Job
 		round, rounds int
 	}
+	type merge struct {
+		ls    *leaseState
+		spans []telemetry.Span
+	}
 	var progress []prog
+	var merges []merge
 	c.mu.Lock()
 	w, ok := c.workers[workerID]
 	if !ok {
@@ -309,11 +385,17 @@ func (c *Coordinator) Heartbeat(workerID string, req engine.WorkerHeartbeatReque
 		if lp.Round > 0 {
 			progress = append(progress, prog{ls.job, lp.Round, lp.Rounds})
 		}
+		if len(lp.Spans) > 0 {
+			merges = append(merges, merge{ls, lp.Spans})
+		}
 	}
 	c.mu.Unlock()
 	c.m.heartbeats.Inc()
 	for _, p := range progress {
 		c.eng.RemoteProgress(p.job, p.round, p.rounds)
+	}
+	for _, m := range merges {
+		c.mergeLeaseSpans(m.ls, m.spans)
 	}
 	return resp, nil
 }
@@ -349,6 +431,13 @@ func (c *Coordinator) Complete(workerID, jobID string, req engine.LeaseCompleteR
 		w.completed++
 	}
 	c.mu.Unlock()
+
+	// Merge the worker's terminal span flush BEFORE the job settles, so
+	// a subscriber woken by the done event reads a complete timeline.
+	if len(req.Spans) > 0 {
+		c.mergeLeaseSpans(ls, req.Spans)
+	}
+	c.settleLeaseStats(ls)
 
 	switch {
 	case req.Abandoned:
@@ -387,12 +476,14 @@ func (c *Coordinator) LeaseHolder(jobID string) (*engine.Job, string, bool) {
 	return ls.job, ls.workerID, true
 }
 
-// Fleet snapshots the registered workers for the wire.
+// Fleet snapshots the registered workers for the wire, including each
+// worker's rolling round quantiles and straggler verdict.
 func (c *Coordinator) Fleet() engine.FleetView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v := engine.FleetView{LeaseTTLSec: c.ttl.Seconds(), Workers: make([]engine.WorkerView, 0, len(c.workers))}
 	for _, w := range c.workers {
+		p50, p95, n := c.stats.roundQuantiles(w.name)
 		v.Workers = append(v.Workers, engine.WorkerView{
 			ID:           w.id,
 			Name:         w.name,
@@ -401,9 +492,35 @@ func (c *Coordinator) Fleet() engine.FleetView {
 			LastSeen:     w.lastSeen,
 			ActiveLeases: len(w.leases),
 			Completed:    w.completed,
+			RoundP50Sec:  p50,
+			RoundP95Sec:  p95,
+			RoundSamples: n,
+			Slow:         c.stats.isSlow(w.name),
 		})
 	}
 	return v
+}
+
+// Top assembles one fleet-dashboard sample: the fleet with straggler
+// stats, per-tenant queue depths, running-job count, engine counters,
+// and the slowest spans on record. `feddg top` polls this.
+func (c *Coordinator) Top() engine.TopView {
+	fleet := c.Fleet()
+	running := 0
+	for _, j := range c.eng.Jobs() {
+		if j.State() == engine.StateRunning {
+			running++
+		}
+	}
+	return engine.TopView{
+		Time:        time.Now(),
+		LeaseTTLSec: fleet.LeaseTTLSec,
+		Workers:     fleet.Workers,
+		QueueDepth:  c.eng.QueueDepths(),
+		Running:     running,
+		Stats:       c.eng.Stats(),
+		SlowSpans:   c.eng.Traces().Slowest(8),
+	}
 }
 
 // reaper is the expiry loop: it requeues leases past their TTL and
@@ -456,7 +573,9 @@ func (c *Coordinator) reaper() {
 			}
 		}
 		c.mu.Unlock()
+		c.checkStragglers()
 		for _, v := range victims {
+			c.settleLeaseStats(v.ls)
 			if v.ls.cancelled {
 				_ = c.eng.CompleteRemote(v.ls.job, nil, nil,
 					fmt.Errorf("dist: job cancelled while leased to lost worker %s: %w", v.ls.workerName, context.Canceled))

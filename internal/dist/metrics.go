@@ -15,6 +15,9 @@ type coordMetrics struct {
 	requeued     *telemetry.CounterVec // reason: expired|worker_lost|abandoned|boot
 	expired      *telemetry.Counter
 	heartbeats   *telemetry.Counter
+	workerSlow   *telemetry.GaugeVec     // worker name; 1 = straggler
+	roundSeconds *telemetry.HistogramVec // worker name
+	leaseSeconds *telemetry.HistogramVec // worker name
 }
 
 func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
@@ -33,6 +36,12 @@ func newCoordMetrics(reg *telemetry.Registry) *coordMetrics {
 			"Leases that outlived their TTL without a heartbeat."),
 		heartbeats: reg.Counter("dist_heartbeats_total",
 			"Worker heartbeats processed by the coordinator."),
+		workerSlow: reg.GaugeVec("dist_worker_slow",
+			"1 when the worker's rolling round p50 exceeds the fleet median by the straggler factor, else 0.", "worker"),
+		roundSeconds: reg.HistogramVec("dist_round_seconds",
+			"Federated-round durations reported by workers via shipped round spans, per worker name.", nil, "worker"),
+		leaseSeconds: reg.HistogramVec("dist_lease_seconds",
+			"Lease lifetimes from grant to settle (complete, abandon, or expiry), per worker name.", nil, "worker"),
 	}
 }
 

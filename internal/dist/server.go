@@ -20,6 +20,7 @@ import (
 //	PUT  /v1/workers/{id}/jobs/{job}/model    upload the lease's checkpoint blob
 //	GET  /v1/store/{key}                      peer-fetch a cached Result
 //	GET  /v1/store/{key}/model                peer-fetch a checkpoint blob (ETag/If-None-Match)
+//	GET  /v1/top                              fleet dashboard snapshot (workers, queues, slow spans)
 //
 // Everything rides the server's normal middleware: with -api-keys set,
 // workers authenticate exactly like clients.
@@ -39,6 +40,7 @@ func (c *Coordinator) Mount(s *engine.Server) {
 	s.Handle("PUT /v1/workers/{id}/jobs/{job}/model", c.handleModelUpload)
 	s.Handle("GET /v1/store/{key}", c.handleStoreResult)
 	s.Handle("GET /v1/store/{key}/model", c.handleStoreModel)
+	s.Handle("GET /v1/top", c.handleTop)
 }
 
 // decodeInto reads a JSON body with strict fields, writing the error
@@ -85,6 +87,11 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	engine.WriteJSON(w, http.StatusOK, c.Fleet())
+}
+
+// handleTop serves one dashboard snapshot; `feddg top` polls it.
+func (c *Coordinator) handleTop(w http.ResponseWriter, _ *http.Request) {
+	engine.WriteJSON(w, http.StatusOK, c.Top())
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 
 	"github.com/pardon-feddg/pardon/client"
 	"github.com/pardon-feddg/pardon/internal/engine"
+	"github.com/pardon-feddg/pardon/internal/telemetry"
 )
 
 // WorkerOptions configures a fleet worker node.
@@ -49,6 +50,10 @@ type activeLease struct {
 	// unknown: the coordinator no longer recognizes the lease (expired
 	// and requeued); abort locally and do not complete.
 	unknown bool
+	// shipped marks span IDs whose delivery to the coordinator was
+	// confirmed (heartbeat succeeded). Unconfirmed spans resend on the
+	// next beat — at-least-once; the coordinator dedups by span ID.
+	shipped map[string]bool
 }
 
 // Worker is one fleet node: it registers with the coordinator, pulls
@@ -219,7 +224,7 @@ loop:
 		default:
 			w.m.pulls.With("lease").Inc()
 			w.mu.Lock()
-			w.active[lease.JobID] = &activeLease{lease: *lease}
+			w.active[lease.JobID] = &activeLease{lease: *lease, shipped: map[string]bool{}}
 			w.mu.Unlock()
 			execWG.Add(1)
 			go func(lv engine.LeaseView) {
@@ -305,11 +310,20 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			return
 		case <-time.After(interval):
 		}
+		type sentSpans struct {
+			al  *activeLease
+			ids []string
+		}
 		w.mu.Lock()
 		id := w.id
 		progress := make([]engine.LeaseProgress, 0, len(w.active))
+		var sent []sentSpans
 		for jobID, al := range w.active {
-			progress = append(progress, engine.LeaseProgress{JobID: jobID, Round: al.round, Rounds: al.rounds})
+			spans, spanIDs := w.pendingSpansLocked(al)
+			progress = append(progress, engine.LeaseProgress{JobID: jobID, Round: al.round, Rounds: al.rounds, Spans: spans})
+			if len(spanIDs) > 0 {
+				sent = append(sent, sentSpans{al, spanIDs})
+			}
 		}
 		w.mu.Unlock()
 		resp, err := w.c.WorkerHeartbeat(ctx, id, progress)
@@ -325,8 +339,66 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			}
 			continue
 		}
+		// Spans are confirmed only after the beat lands; a failed send
+		// re-ships them and the coordinator's span-ID dedup absorbs it.
+		w.mu.Lock()
+		for _, s := range sent {
+			for _, spanID := range s.ids {
+				s.al.shipped[spanID] = true
+			}
+		}
+		w.mu.Unlock()
 		w.applyInstructions(resp)
 	}
+}
+
+// span records a worker-side span on the lease's trace, parented under
+// the coordinator's lease span so the merged timeline nests.
+func (w *Worker) span(lv engine.LeaseView, name string, start, end time.Time, attrs map[string]string) {
+	if lv.TraceID == "" {
+		return
+	}
+	w.eng.Traces().Add(telemetry.Span{
+		TraceID:     lv.TraceID,
+		SpanID:      telemetry.NewSpanID(),
+		ParentID:    lv.SpanID,
+		Name:        name,
+		Start:       start,
+		DurationSec: end.Sub(start).Seconds(),
+		Attrs:       attrs,
+	})
+}
+
+// pendingSpansLocked collects the lease's trace spans not yet confirmed
+// delivered, capped per message; w.mu must be held. Shipped copies are
+// labeled with this node and root spans (the local engine's own "job"
+// root) re-parent under the coordinator's lease span, so the merged
+// timeline nests the worker's whole local tree inside the lease that
+// caused it.
+func (w *Worker) pendingSpansLocked(al *activeLease) ([]telemetry.Span, []string) {
+	if al.lease.TraceID == "" || al.shipped == nil {
+		return nil, nil
+	}
+	all := w.eng.Traces().Trace(al.lease.TraceID)
+	var out []telemetry.Span
+	var ids []string
+	for _, sp := range all {
+		if al.shipped[sp.SpanID] {
+			continue
+		}
+		if sp.ParentID == "" {
+			sp.ParentID = al.lease.SpanID
+		}
+		if sp.Source == "" {
+			sp.Source = "worker:" + w.name
+		}
+		out = append(out, sp)
+		ids = append(ids, sp.SpanID)
+		if len(out) >= maxSpansPerMessage {
+			break
+		}
+	}
+	return out, ids
 }
 
 // applyInstructions handles a heartbeat response: cancel aborts the
@@ -368,7 +440,6 @@ func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
 		delete(w.active, lv.JobID)
 		w.mu.Unlock()
 	}()
-	workerID := w.workerID()
 
 	// The cheap end-to-end guard: the Spec must hash to the lease key on
 	// THIS binary too, or the fleet has version/default skew and this
@@ -384,10 +455,12 @@ func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
 	}
 
 	// Tier 1: local disk/memory store.
+	tierStart := time.Now()
 	if res, ok, _ := w.eng.Store().Get(lv.Key); ok {
 		w.m.tierLookups.With("local").Inc()
+		w.span(lv, "tier-lookup", tierStart, time.Now(), map[string]string{"tier": "local"})
 		if blob, ok, _ := w.eng.ModelBlob(lv.Key); ok {
-			w.upload(ctx, workerID, lv.JobID, blob)
+			w.upload(ctx, lv, blob)
 		}
 		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
 		return
@@ -398,11 +471,13 @@ func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
 	// an upload against an expired lease.)
 	if res, found, err := w.c.StoreResult(ctx, lv.Key); err == nil && found {
 		w.m.tierLookups.With("peer").Inc()
+		w.span(lv, "tier-lookup", tierStart, time.Now(), map[string]string{"tier": "peer"})
 		_ = w.eng.Store().Put(lv.Key, res) // warm the local tier
 		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
 		return
 	}
 	w.m.tierLookups.With("miss").Inc()
+	w.span(lv, "tier-lookup", tierStart, time.Now(), map[string]string{"tier": "miss"})
 
 	// Double miss: train locally under the lease's trace, so one grep
 	// follows the cell from coordinator submit to worker round loop.
@@ -456,7 +531,7 @@ func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
 		w.m.completions.With("abandoned").Inc()
 	case runErr == nil:
 		if blob, ok, _ := w.eng.ModelBlob(lv.Key); ok {
-			w.upload(ctx, workerID, lv.JobID, blob)
+			w.upload(ctx, lv, blob)
 		}
 		w.complete(lv.JobID, engine.LeaseCompleteRequest{Result: res}, "done")
 	case coordCancelled:
@@ -471,9 +546,12 @@ func (w *Worker) execute(ctx context.Context, lv engine.LeaseView) {
 
 // upload pushes a checkpoint blob to the coordinator, best-effort: a
 // missing blob upstream degrades GET /model to 404, never the result.
-func (w *Worker) upload(ctx context.Context, workerID, jobID string, blob []byte) {
-	if err := w.c.UploadLeaseModel(ctx, workerID, jobID, blob); err != nil {
-		w.log.Warn("dist: model upload failed", "job", jobID, "error", err)
+func (w *Worker) upload(ctx context.Context, lv engine.LeaseView, blob []byte) {
+	start := time.Now()
+	err := w.c.UploadLeaseModel(ctx, w.workerID(), lv.JobID, blob)
+	w.span(lv, "upload", start, time.Now(), map[string]string{"bytes": fmt.Sprintf("%d", len(blob))})
+	if err != nil {
+		w.log.Warn("dist: model upload failed", "job", lv.JobID, "error", err)
 	}
 }
 
@@ -487,6 +565,14 @@ func (w *Worker) complete(jobID string, req engine.LeaseCompleteRequest, outcome
 		return // a "dead" worker says nothing
 	default:
 	}
+	// Terminal span flush: whatever the heartbeat has not confirmed yet
+	// rides the completion, so short jobs still arrive with a full
+	// worker-side timeline.
+	w.mu.Lock()
+	if al, ok := w.active[jobID]; ok {
+		req.Spans, _ = w.pendingSpansLocked(al)
+	}
+	w.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := w.c.CompleteLease(ctx, w.workerID(), jobID, req); err != nil {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,6 +138,7 @@ type Engine struct {
 	store       *Store
 	sched       *Scheduler
 	journal     *Journal // nil when CacheDir is unset (memory-only engine)
+	traces      *telemetry.TraceStore
 	scenarios   *scenarioCache
 	parallelism int
 	precision   string // default Spec.Precision ("" = f64)
@@ -218,6 +220,7 @@ func New(opts Options) (*Engine, error) {
 		store:       store,
 		sched:       newScheduler(workers, m, logger),
 		journal:     jl,
+		traces:      telemetry.NewTraceStore(0, 0),
 		scenarios:   newScenarioCache(opts.ScenarioCap),
 		parallelism: par,
 		precision:   opts.Precision,
@@ -226,6 +229,7 @@ func New(opts Options) (*Engine, error) {
 		batches:     map[string]*Batch{},
 	}
 	e.sched.journal = jl
+	e.sched.traces = e.traces
 	e.replayJournal()
 	return e, nil
 }
@@ -314,6 +318,40 @@ func (e *Engine) Metrics() *telemetry.Registry { return e.metrics.reg }
 // Store exposes the engine's result store.
 func (e *Engine) Store() *Store { return e.store }
 
+// Traces exposes the engine's span store: every lifecycle span the
+// scheduler and run loop record, plus (on a coordinator) the worker
+// spans merged in off heartbeat and completion payloads. Serves
+// GET /v1/traces/{id}.
+func (e *Engine) Traces() *telemetry.TraceStore { return e.traces }
+
+// span records one span on a job's trace with a fresh span ID.
+func (e *Engine) span(j *Job, parent, name string, start, end time.Time, attrs map[string]string) {
+	e.traces.Add(telemetry.Span{
+		TraceID:     j.TraceID,
+		SpanID:      telemetry.NewSpanID(),
+		ParentID:    parent,
+		Name:        name,
+		Start:       start,
+		DurationSec: end.Sub(start).Seconds(),
+		Attrs:       attrs,
+	})
+}
+
+// QueueDepths returns the scheduler's per-tenant queued-job counts —
+// the fleet dashboard's queue panel. Tenants with empty queues are
+// omitted.
+func (e *Engine) QueueDepths() map[string]int {
+	e.sched.mu.Lock()
+	defer e.sched.mu.Unlock()
+	out := map[string]int{}
+	for tenant, q := range e.sched.queues {
+		if q.Len() > 0 {
+			out[tenant] = q.Len()
+		}
+	}
+	return out
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	hits, misses := e.store.Counters()
@@ -375,6 +413,7 @@ func (e *Engine) resolveSpec(sp Spec) Spec {
 }
 
 func (e *Engine) submit(spec Spec, priority int, trace, tenant, sweepTrace string, fresh bool) (*Job, error) {
+	submitStart := time.Now()
 	spec = e.resolveSpec(spec)
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -417,11 +456,17 @@ func (e *Engine) submit(spec Spec, priority int, trace, tenant, sweepTrace strin
 			return nil, err
 		}
 		j.addPersist(time.Since(persistStart))
+		e.span(j, j.RunSpanID(), "persist", persistStart, time.Now(), nil)
 		return res, nil
 	})
 	if coalesced {
 		e.coalesced.Add(1)
 		e.metrics.jobsCoalesced.Inc()
+	} else if err == nil {
+		// The admission edge: validate + hash + journal + enqueue. A
+		// coalesced submission records nothing — the trace belongs to the
+		// first submitter.
+		e.span(j, j.RootSpanID(), "submit", submitStart, time.Now(), nil)
 	}
 	var qerr *QuotaError
 	if errors.As(err, &qerr) {
@@ -671,22 +716,34 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 		return nil, err
 	}
 	start := time.Now()
-	model, hist, err := fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{
-		Rounds:    spec.Rounds,
-		SampleK:   spec.SampleK,
-		EvalEvery: spec.EvalEvery,
-		Precision: prec,
-		// Per-job CPU bound: the spec's hint wins, else the engine-wide
-		// per-job parallelism (already in sc.Env) applies.
-		Parallelism: spec.Parallelism,
-		Context:     ctx,
-		TraceID:     j.TraceID,
-		OnRound: func(round, total int) {
-			e.rounds.Add(1)
-			e.metrics.rounds.Inc()
-			j.progress(round, total)
-		},
-	})
+	runSpan := j.RunSpanID()
+	var model *nn.Model
+	var hist *fl.History
+	// pprof labels propagate to every goroutine fl.Run spawns (the
+	// per-client LocalTrain workers), so CPU and heap profiles from the
+	// ops mux attribute training samples to the job that caused them.
+	pprof.Do(ctx, pprof.Labels("trace_id", j.TraceID, "method", spec.Method, "tenant", j.Tenant),
+		func(ctx context.Context) {
+			model, hist, err = fl.Run(sc.Env, alg, sc.Clients, sc.Val, sc.Test, fl.RunConfig{
+				Rounds:    spec.Rounds,
+				SampleK:   spec.SampleK,
+				EvalEvery: spec.EvalEvery,
+				Precision: prec,
+				// Per-job CPU bound: the spec's hint wins, else the engine-wide
+				// per-job parallelism (already in sc.Env) applies.
+				Parallelism: spec.Parallelism,
+				Context:     ctx,
+				TraceID:     j.TraceID,
+				OnRound: func(round, total int) {
+					e.rounds.Add(1)
+					e.metrics.rounds.Inc()
+					j.progress(round, total)
+				},
+				OnRoundEnd: func(round, total int, rs, re time.Time) {
+					e.span(j, runSpan, fmt.Sprintf("round-%d", round), rs, re, nil)
+				},
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -704,6 +761,8 @@ func (e *Engine) runSpec(ctx context.Context, j *Job, spec Spec, hash string) (*
 		persistStart := time.Now()
 		_ = e.store.PutBlob(hash, blob)
 		j.addPersist(time.Since(persistStart))
+		e.span(j, runSpan, "checkpoint", persistStart, time.Now(),
+			map[string]string{"bytes": fmt.Sprintf("%d", len(blob))})
 	}
 	return res, nil
 }
@@ -771,6 +830,7 @@ func (e *Engine) CompleteRemote(j *Job, res *Result, blob []byte, jobErr error) 
 			_ = e.store.PutBlob(j.Key, blob)
 		}
 		j.addPersist(time.Since(persistStart))
+		e.span(j, j.RunSpanID(), "persist", persistStart, time.Now(), nil)
 	}
 	e.sched.completeRemote(j, res, jobErr)
 	return nil

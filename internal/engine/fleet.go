@@ -1,6 +1,10 @@
 package engine
 
-import "time"
+import (
+	"time"
+
+	"github.com/pardon-feddg/pardon/internal/telemetry"
+)
 
 // Fleet wire types: the coordinator/worker protocol of internal/dist,
 // defined here alongside the other v2 wire shapes so the public client
@@ -47,6 +51,10 @@ type LeaseView struct {
 	TraceID  string `json:"trace_id,omitempty"`
 	Priority int    `json:"priority"`
 	Spec     Spec   `json:"spec"`
+	// SpanID is the coordinator's lease span for this claim. Spans the
+	// worker ships back parent under it, so the merged timeline nests
+	// worker-side work inside the lease that caused it.
+	SpanID string `json:"span_id,omitempty"`
 	// TTLSec echoes the lease TTL so the worker can size its heartbeat
 	// interval without remembering registration state.
 	TTLSec float64 `json:"ttl_sec"`
@@ -57,6 +65,10 @@ type LeaseProgress struct {
 	JobID  string `json:"job_id"`
 	Round  int    `json:"round,omitempty"`
 	Rounds int    `json:"rounds,omitempty"`
+	// Spans piggybacks the worker's newly recorded spans for this lease's
+	// trace. Delivery is at-least-once (a failed heartbeat resends);
+	// the coordinator merges by span ID, so duplicates are harmless.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // WorkerHeartbeatRequest is the POST /v1/workers/{id}/heartbeat body:
@@ -89,6 +101,9 @@ type LeaseCompleteRequest struct {
 	// Abandoned returns the lease without an outcome (worker shutting
 	// down): the coordinator requeues the job for another node.
 	Abandoned bool `json:"abandoned,omitempty"`
+	// Spans carries the worker's remaining unshipped spans for the
+	// lease's trace — the terminal flush of the heartbeat piggyback.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // WorkerView is the wire representation of one registered worker.
@@ -100,10 +115,39 @@ type WorkerView struct {
 	LastSeen     time.Time `json:"last_seen"`
 	ActiveLeases int       `json:"active_leases"`
 	Completed    int64     `json:"completed"`
+	// RoundP50Sec/RoundP95Sec are rolling quantiles of the worker's
+	// recent round durations, derived from the round spans it ships;
+	// zero until enough rounds have been observed.
+	RoundP50Sec float64 `json:"round_p50_sec,omitempty"`
+	RoundP95Sec float64 `json:"round_p95_sec,omitempty"`
+	// RoundSamples is how many round durations back the quantiles.
+	RoundSamples int `json:"round_samples,omitempty"`
+	// Slow flags a straggler: the worker's round p50 exceeds the fleet
+	// median by the coordinator's straggler factor.
+	Slow bool `json:"slow,omitempty"`
 }
 
 // FleetView is the GET /v1/workers response: the registered fleet.
 type FleetView struct {
 	Workers     []WorkerView `json:"workers"`
 	LeaseTTLSec float64      `json:"lease_ttl_sec"`
+}
+
+// TopView is the GET /v1/top response: one self-contained sample of the
+// fleet dashboard. `feddg top` polls it and derives rates (rounds/s)
+// from successive samples client-side.
+type TopView struct {
+	Time        time.Time    `json:"time"`
+	LeaseTTLSec float64      `json:"lease_ttl_sec"`
+	Workers     []WorkerView `json:"workers"`
+	// QueueDepth is the scheduler's queued-job count per tenant (empty
+	// queues omitted).
+	QueueDepth map[string]int `json:"queue_depth,omitempty"`
+	// Running counts jobs currently executing (locally or leased).
+	Running int `json:"running"`
+	// Stats is the engine counter snapshot; RoundsExecuted across two
+	// samples yields the dashboard's rounds/s.
+	Stats Stats `json:"stats"`
+	// SlowSpans are the longest non-root spans across retained traces.
+	SlowSpans []telemetry.Span `json:"slow_spans,omitempty"`
 }

@@ -82,12 +82,18 @@ type Job struct {
 	seq     int64
 	heapIdx int
 
+	// rootSpan is the span ID of the job's root "job" span, minted at
+	// creation and immutable: every other span of the trace nests under
+	// it (directly or via the run/lease span).
+	rootSpan string
+
 	mu       sync.Mutex
 	state    State
 	priority int
 	submits  int
 	cached   bool
 	worker   string // remote worker executing the job ("" = local pool)
+	runSpan  string // span ID of the current run/lease attempt
 	started  time.Time
 	finished time.Time
 	round    int
@@ -98,6 +104,20 @@ type Job struct {
 	subs     []chan Event
 	cancel   context.CancelFunc
 	done     chan struct{}
+}
+
+// RootSpanID returns the span ID of the job's root "job" span — the
+// parent every other span of the job's trace ultimately nests under.
+func (j *Job) RootSpanID() string { return j.rootSpan }
+
+// RunSpanID returns the span ID of the job's current run or lease
+// attempt ("" while queued). Round, persist, and worker-shipped spans
+// parent here, so retries after a lease expiry nest under the attempt
+// that produced them.
+func (j *Job) RunSpanID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runSpan
 }
 
 // Priority returns the job's queue priority: higher runs first, FIFO
@@ -292,6 +312,9 @@ type Scheduler struct {
 	// draining are deliberately NOT journaled terminal: they must
 	// re-enqueue on the next boot.
 	journal *Journal
+	// traces receives the lifecycle spans (queue, run, lease, job) the
+	// scheduler records at its state transitions; nil disables tracing.
+	traces *telemetry.TraceStore
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -351,6 +374,30 @@ func (s *Scheduler) dequeueLocked() *Job {
 		return j
 	}
 	return nil
+}
+
+// recordSpan records one lifecycle span on a job's trace with a fresh
+// span ID. Instant events pass start == end.
+func (s *Scheduler) recordSpan(j *Job, parent, name string, start, end time.Time, attrs map[string]string) {
+	s.recordSpanID(j, telemetry.NewSpanID(), parent, name, start, end, attrs)
+}
+
+// recordSpanID is recordSpan with a caller-chosen span ID — used for the
+// spans whose IDs are handed out ahead of time (the run/lease span ID a
+// worker parents its shipped spans under).
+func (s *Scheduler) recordSpanID(j *Job, id, parent, name string, start, end time.Time, attrs map[string]string) {
+	if s.traces == nil || id == "" {
+		return
+	}
+	s.traces.Add(telemetry.Span{
+		TraceID:     j.TraceID,
+		SpanID:      id,
+		ParentID:    parent,
+		Name:        name,
+		Start:       start,
+		DurationSec: end.Sub(start).Seconds(),
+		Attrs:       attrs,
+	})
 }
 
 // isClosed reports whether the scheduler is draining.
@@ -423,6 +470,8 @@ func (s *Scheduler) completed(spec *Spec, key string, priority int, trace, tenan
 	close(j.done)
 	s.mu.Unlock()
 	s.metrics.jobsCompleted.With(string(StateDone), tenant).Inc()
+	s.recordSpanID(j, j.rootSpan, "", "job", j.Created, j.Created,
+		map[string]string{"state": string(StateDone), "cached": "true", "method": methodLabel(j)})
 	s.log.Info("engine: job served from cache",
 		"trace", j.TraceID, "job", j.ID, "method", methodLabel(j), "key", key[:min(12, len(key))])
 	return j
@@ -444,6 +493,7 @@ func (s *Scheduler) newJobLocked(spec *Spec, key string, priority int, trace, te
 		TraceID:  telemetry.OrNewTraceID(trace),
 		Tenant:   tenant,
 		Created:  time.Now(),
+		rootSpan: telemetry.NewSpanID(),
 		seq:      s.nextSeq,
 		priority: priority,
 		submits:  1,
@@ -508,7 +558,11 @@ func (s *Scheduler) cancel(id string) error {
 	switch j.state {
 	case StateQueued:
 		j.finishLocked(StateCancelled, nil, fmt.Errorf("engine: job %s cancelled while queued: %w", j.ID, context.Canceled))
+		finished := j.finished
 		j.mu.Unlock()
+		s.recordSpan(j, j.rootSpan, "queue", j.Created, finished, nil)
+		s.recordSpanID(j, j.rootSpan, "", "job", j.Created, finished,
+			map[string]string{"state": string(StateCancelled)})
 		s.metrics.jobsCompleted.With(string(StateCancelled), j.Tenant).Inc()
 		s.log.Info("engine: job cancelled while queued", "trace", j.TraceID, "job", j.ID)
 		// A deliberate cancel is terminal and must not replay; a cancel
@@ -588,10 +642,12 @@ func (s *Scheduler) worker() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
+		j.runSpan = telemetry.NewSpanID()
 		j.cancel = cancel
 		j.emitLocked()
 		j.mu.Unlock()
 		s.journal.jobStarted(j.Key)
+		s.recordSpan(j, j.rootSpan, "queue", j.Created, j.started, nil)
 		method := methodLabel(j)
 		s.metrics.queueWait.With(method).Observe(j.started.Sub(j.Created).Seconds())
 		s.metrics.running.Inc()
@@ -613,7 +669,12 @@ func (s *Scheduler) worker() {
 		}
 		state := j.state
 		runSec := j.finished.Sub(j.started).Seconds()
+		started, finished, runSpan := j.started, j.finished, j.runSpan
 		j.mu.Unlock()
+		s.recordSpanID(j, runSpan, j.rootSpan, "run", started, finished,
+			map[string]string{"worker": "local", "state": string(state)})
+		s.recordSpanID(j, j.rootSpan, "", "job", j.Created, finished,
+			map[string]string{"state": string(state), "method": method, "tenant": j.Tenant})
 		s.metrics.running.Dec()
 		s.metrics.runSeconds.With(method).Observe(runSec)
 		s.metrics.jobsCompleted.With(string(state), j.Tenant).Inc()
@@ -687,6 +748,7 @@ func (s *Scheduler) claimRemote(worker string, prefer func(key string) bool, onC
 		j.state = StateRunning
 		j.started = time.Now()
 		j.worker = worker
+		j.runSpan = telemetry.NewSpanID()
 		if onCancel != nil {
 			jj := j
 			j.cancel = func() { onCancel(jj) }
@@ -696,6 +758,7 @@ func (s *Scheduler) claimRemote(worker string, prefer func(key string) bool, onC
 		j.mu.Unlock()
 		s.journal.jobStarted(j.Key)
 		s.journal.jobLeased(j.Key, worker)
+		s.recordSpan(j, j.rootSpan, "queue", j.Created, j.started, nil)
 		method := methodLabel(j)
 		s.metrics.queueWait.With(method).Observe(queueSec)
 		s.log.Info("engine: job leased to worker",
@@ -763,8 +826,10 @@ func (s *Scheduler) requeueRemote(j *Job) bool {
 		return false
 	}
 	worker := j.worker
+	started, runSpan := j.started, j.runSpan
 	j.state = StateQueued
 	j.worker = ""
+	j.runSpan = ""
 	j.started = time.Time{}
 	j.cancel = nil
 	j.emitLocked()
@@ -776,6 +841,8 @@ func (s *Scheduler) requeueRemote(j *Job) bool {
 	j.mu.Unlock()
 	s.mu.Unlock()
 	s.journal.leaseReleased(j.Key)
+	s.recordSpanID(j, runSpan, j.rootSpan, "lease", started, time.Now(),
+		map[string]string{"worker": worker, "outcome": "requeued"})
 	s.log.Info("engine: leased job requeued", "trace", j.TraceID, "job", j.ID, "worker", worker)
 	return true
 }
@@ -806,8 +873,15 @@ func (s *Scheduler) completeRemote(j *Job, res *Result, jobErr error) bool {
 	if !started.IsZero() {
 		runSec = j.finished.Sub(started).Seconds()
 	}
+	finished, runSpan := j.finished, j.runSpan
 	j.mu.Unlock()
 	method := methodLabel(j)
+	if !started.IsZero() {
+		s.recordSpanID(j, runSpan, j.rootSpan, "lease", started, finished,
+			map[string]string{"worker": worker, "state": string(state)})
+	}
+	s.recordSpanID(j, j.rootSpan, "", "job", j.Created, finished,
+		map[string]string{"state": string(state), "method": method, "tenant": j.Tenant})
 	s.metrics.runSeconds.With(method).Observe(runSec)
 	s.metrics.jobsCompleted.With(string(state), j.Tenant).Inc()
 	// Drain cancellations stay live in the journal (same contract as the

@@ -85,6 +85,7 @@ func NewServer(e *Engine, opts ...ServerOption) *Server {
 	s.handle("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.handle("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.handle("GET /v1/traces/{id}", s.handleTrace)
 	s.handle("POST /v1/sweeps", s.handleSweepSubmit)
 	s.handle("GET /v1/sweeps", s.handleSweepList)
 	s.handle("GET /v1/sweeps/{id}", s.handleSweepStatus)
@@ -736,6 +737,38 @@ func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool
 	return j, true
 }
 
+// TraceView is the GET /v1/traces/{id} body: one trace's span timeline,
+// spans sorted by start time. On a coordinator it includes the spans
+// merged in from the executing worker.
+type TraceView struct {
+	TraceID string           `json:"trace_id"`
+	Spans   []telemetry.Span `json:"spans"`
+}
+
+// handleTrace serves a trace's span timeline. The path segment accepts
+// either a trace ID (the `trace_id` every job view, event, and SSE
+// frame carries) or a job ID, which resolves to the job's trace — so
+// `feddg trace job-7` works without a lookup round-trip.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSpace(r.PathValue("id"))
+	if j, ok := s.engine.Job(id); ok {
+		id = j.TraceID
+	}
+	spans := s.engine.Traces().Trace(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no spans recorded for trace "+id)
+		return
+	}
+	for i := range spans {
+		// Spans recorded by this process carry no source; name it for
+		// consumers (worker-shipped spans arrive labeled already).
+		if spans[i].Source == "" {
+			spans[i].Source = "coordinator"
+		}
+	}
+	writeJSON(w, http.StatusOK, TraceView{TraceID: id, Spans: spans})
+}
+
 func (s *Server) batchFromPath(w http.ResponseWriter, r *http.Request) (*Batch, bool) {
 	id := strings.TrimSpace(r.PathValue("id"))
 	b, ok := s.engine.Batch(id)
@@ -942,8 +975,17 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, events <-c
 				return
 			}
 			id++
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.State, data)
-			_ = rc.Flush()
+			// A write or flush failure means the client is gone (an abrupt
+			// disconnect the context cancellation may lag behind, or miss
+			// entirely under custom transports): end the stream now so the
+			// deferred active-gauge decrement runs instead of counting a
+			// dead consumer until the job finishes.
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, ev.State, data); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// brokenWriter simulates an abrupt SSE client disconnect that the
+// request context never observes: writes start failing after failAfter
+// successful ones, while Flush keeps succeeding (the probe flush must
+// pass so the stream starts).
+type brokenWriter struct {
+	header    http.Header
+	failAfter int
+	writes    int
+}
+
+func (b *brokenWriter) Header() http.Header { return b.header }
+func (b *brokenWriter) WriteHeader(int)     {}
+func (b *brokenWriter) Flush()              {}
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	b.writes++
+	if b.writes > b.failAfter {
+		return 0, errors.New("broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestSSEGaugeDecrementsOnWriteError is the regression test for dead
+// SSE consumers: when the client vanishes without cancelling the
+// request context, the first failed write must end the stream and run
+// the deferred http_sse_active decrement — not leave the gauge pinned
+// until the job finishes.
+func TestSSEGaugeDecrementsOnWriteError(t *testing.T) {
+	e := newTestEngine(t, Options{Workers: 1})
+	s := NewServer(e)
+
+	events := make(chan Event)
+	// The request context stays live for the whole test — the write
+	// error alone has to terminate the stream.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-1/events", nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.streamEvents(&brokenWriter{header: http.Header{}, failAfter: 1}, req, events)
+	}()
+
+	// First event passes the one allowed write; the second write fails.
+	for i := 0; i < 2; i++ {
+		select {
+		case events <- Event{State: StateRunning, Round: i + 1, Rounds: 2}:
+		case <-done:
+		}
+		if i == 0 && s.metrics.sseActive.Value() != 1 {
+			t.Fatalf("sseActive = %d after stream start, want 1", s.metrics.sseActive.Value())
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("streamEvents did not return after the write error")
+	}
+	if got := s.metrics.sseActive.Value(); got != 0 {
+		t.Fatalf("sseActive = %d after client write error, want 0", got)
+	}
+}

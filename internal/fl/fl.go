@@ -417,6 +417,11 @@ type RunConfig struct {
 	// total round count. It must not block for long: local training of
 	// the next round waits on it.
 	OnRound func(round, total int)
+	// OnRoundEnd, when non-nil, is invoked after OnRound with the round's
+	// wall-clock bounds (sampling through aggregation and eval). It feeds
+	// per-round spans into the engine's trace timeline; the same
+	// non-blocking contract as OnRound applies.
+	OnRoundEnd func(round, total int, start, end time.Time)
 	// Parallelism bounds this run's local-training worker pool; 0 falls
 	// back to Env.Parallelism, then NumCPU. It is a pure scheduling
 	// knob: every stochastic choice draws from named rng streams and the
@@ -516,6 +521,7 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 				return nil, nil, fmt.Errorf("fl: %s cancelled before round %d: %w", alg.Name(), round, err)
 			}
 		}
+		roundStart := time.Now()
 		ids := partition.SampleClients(len(clients), cfg.SampleK, env.RNG.StreamI("client-sampling", round))
 		parts := make([]*Client, len(ids))
 		for i, id := range ids {
@@ -583,6 +589,9 @@ func Run(env *Env, alg Algorithm, clients []*Client, val, test *EvalSet, cfg Run
 		}
 		if cfg.OnRound != nil {
 			cfg.OnRound(round+1, cfg.Rounds)
+		}
+		if cfg.OnRoundEnd != nil {
+			cfg.OnRoundEnd(round+1, cfg.Rounds, roundStart, time.Now())
 		}
 	}
 	if cfg.TraceID != "" {

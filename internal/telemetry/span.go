@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spans extend the flat trace IDs of PR 6 into timelines: each lifecycle
+// edge a job crosses (submit, queue wait, lease grant, tier lookup,
+// per-round training, checkpoint persist/upload) records one Span, and
+// the TraceStore groups them per trace so GET /v1/traces/{id} can render
+// where a job's wall-clock went. The store is deliberately dumb — no
+// sampling, no export pipeline — because its one consumer is the
+// coordinator process itself; boundedness (spans per trace, traces per
+// store) is the whole contract.
+
+// spanCounter disambiguates span IDs when the random source fails.
+var spanCounter atomic.Int64
+
+// NewSpanID mints an 8-hex-character span ID. Span IDs need only be
+// unique within one trace; 32 random bits over a few hundred spans makes
+// a collision (which would silently drop the later span via the store's
+// dedup) vanishingly unlikely.
+func NewSpanID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("span-%d", spanCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed operation within a trace. Spans form a tree via
+// ParentID; the root span of a trace has ParentID "". Spans are plain
+// values — they ship over the fleet wire (heartbeat/complete payloads)
+// as JSON and merge into the coordinator's store by SpanID, so a span,
+// once recorded, is immutable.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// ParentID nests this span under another span of the same trace; ""
+	// marks a root. A parent may arrive after its children (worker spans
+	// ship incrementally on heartbeats; the enclosing span only exists
+	// once the operation ends) — consumers must tolerate orphans.
+	ParentID string `json:"parent_id,omitempty"`
+	// Name is the operation: "job", "queue", "run", "lease", "round-N",
+	// "tier-lookup", "persist", "checkpoint", "upload".
+	Name string `json:"name"`
+	// Source is the node that recorded the span: "" for the serving
+	// engine (rendered as "coordinator" on the wire), "worker:<name>"
+	// for spans shipped by a fleet worker.
+	Source string    `json:"source,omitempty"`
+	Start  time.Time `json:"start"`
+	// DurationSec is the span's wall-clock length. Instant events record 0.
+	DurationSec float64 `json:"duration_sec"`
+	// Attrs carries bounded key/value detail (outcome, worker, tier,
+	// round). Never IDs with unbounded cardinality beyond the trace's own.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// End returns the span's end time.
+func (s Span) End() time.Time {
+	return s.Start.Add(time.Duration(s.DurationSec * float64(time.Second)))
+}
+
+// Defaults for NewTraceStore; exported so servers and tests agree on the
+// bounds they assert against.
+const (
+	// DefaultMaxTraces bounds distinct traces retained; beyond it the
+	// oldest-created trace is evicted whole.
+	DefaultMaxTraces = 512
+	// DefaultMaxSpans bounds spans per trace; beyond it the earliest-
+	// recorded span is overwritten ring-style, keeping the newest window
+	// (a 10k-round run keeps its recent rounds plus whatever structural
+	// spans were recorded late, e.g. the terminal "job" root).
+	DefaultMaxSpans = 512
+)
+
+// traceEntry is one trace's bounded span ring plus its dedup index.
+type traceEntry struct {
+	spans []Span          // ring buffer, appended until maxSpans then overwritten
+	next  int             // overwrite cursor once len(spans) == maxSpans
+	ids   map[string]bool // SpanIDs currently held (dedup for at-least-once shipping)
+	seq   int64           // creation order, for whole-trace eviction
+}
+
+// TraceStore holds recent traces' spans, bounded in both dimensions.
+// Add dedups by SpanID, which makes shipping idempotent: a worker can
+// resend its span snapshot on every heartbeat and the merged trace stays
+// exact. All methods are safe for concurrent use and nil-safe, so an
+// engine wired without tracing costs nothing.
+type TraceStore struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	nextSeq   int64
+	traces    map[string]*traceEntry
+}
+
+// NewTraceStore returns a store bounded to maxTraces traces of maxSpans
+// spans each; zero or negative bounds adopt the defaults.
+func NewTraceStore(maxTraces, maxSpans int) *TraceStore {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &TraceStore{maxTraces: maxTraces, maxSpans: maxSpans, traces: map[string]*traceEntry{}}
+}
+
+// Add records a span, returning true if it was new and false if a span
+// with the same SpanID already exists in its trace (or the span is
+// unidentifiable). Duplicate delivery is the common case — workers ship
+// at-least-once — so callers that derive statistics from spans must gate
+// on the return value.
+func (t *TraceStore) Add(sp Span) bool {
+	if t == nil || sp.TraceID == "" || sp.SpanID == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.traces[sp.TraceID]
+	if !ok {
+		if len(t.traces) >= t.maxTraces {
+			t.evictOldestLocked()
+		}
+		t.nextSeq++
+		e = &traceEntry{ids: map[string]bool{}, seq: t.nextSeq}
+		t.traces[sp.TraceID] = e
+	}
+	if e.ids[sp.SpanID] {
+		return false
+	}
+	if len(e.spans) < t.maxSpans {
+		e.spans = append(e.spans, sp)
+	} else {
+		delete(e.ids, e.spans[e.next].SpanID)
+		e.spans[e.next] = sp
+		e.next = (e.next + 1) % t.maxSpans
+	}
+	e.ids[sp.SpanID] = true
+	return true
+}
+
+// evictOldestLocked drops the earliest-created trace; t.mu must be held.
+func (t *TraceStore) evictOldestLocked() {
+	var victim string
+	var oldest int64 = -1
+	for id, e := range t.traces {
+		if oldest < 0 || e.seq < oldest {
+			victim, oldest = id, e.seq
+		}
+	}
+	delete(t.traces, victim)
+}
+
+// Trace returns the trace's spans sorted by start time (SpanID breaks
+// ties, so output is deterministic). The slice is fresh; nil means the
+// trace is unknown (or was evicted).
+func (t *TraceStore) Trace(id string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	e, ok := t.traces[id]
+	if !ok {
+		t.mu.Unlock()
+		return nil
+	}
+	out := append([]Span(nil), e.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Start.Equal(out[k].Start) {
+			return out[i].Start.Before(out[k].Start)
+		}
+		return out[i].SpanID < out[k].SpanID
+	})
+	return out
+}
+
+// Len returns the number of retained traces.
+func (t *TraceStore) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// Slowest returns up to n spans with the largest durations across all
+// retained traces, longest first — the "slowest spans" panel of the
+// fleet dashboard. Root "job" spans are skipped (they always dominate
+// and say nothing about where the time went).
+func (t *TraceStore) Slowest(n int) []Span {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	var all []Span
+	for _, e := range t.traces {
+		for _, sp := range e.spans {
+			if sp.Name == "job" {
+				continue
+			}
+			all = append(all, sp)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool {
+		if all[i].DurationSec != all[k].DurationSec {
+			return all[i].DurationSec > all[k].DurationSec
+		}
+		return all[i].SpanID < all[k].SpanID
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkSpan(trace string, n int) Span {
+	return Span{
+		TraceID:     trace,
+		SpanID:      fmt.Sprintf("s%06d", n),
+		Name:        fmt.Sprintf("round-%d", n),
+		Start:       time.Unix(0, int64(n)*int64(time.Millisecond)),
+		DurationSec: 0.001,
+	}
+}
+
+func TestTraceStoreAddDedup(t *testing.T) {
+	ts := NewTraceStore(4, 8)
+	sp := mkSpan("t1", 1)
+	if !ts.Add(sp) {
+		t.Fatalf("first Add returned false")
+	}
+	if ts.Add(sp) {
+		t.Fatalf("duplicate Add returned true")
+	}
+	if got := len(ts.Trace("t1")); got != 1 {
+		t.Fatalf("trace has %d spans, want 1", got)
+	}
+	// Unidentifiable spans are refused.
+	if ts.Add(Span{TraceID: "t1"}) || ts.Add(Span{SpanID: "x"}) {
+		t.Fatalf("span without trace or span ID accepted")
+	}
+}
+
+func TestTraceStoreRingEviction(t *testing.T) {
+	const maxSpans = 16
+	ts := NewTraceStore(2, maxSpans)
+	for i := 0; i < 3*maxSpans; i++ {
+		ts.Add(mkSpan("t1", i))
+	}
+	got := ts.Trace("t1")
+	if len(got) != maxSpans {
+		t.Fatalf("trace holds %d spans, want %d", len(got), maxSpans)
+	}
+	// The ring keeps the newest window: spans 32..47.
+	for _, sp := range got {
+		var n int
+		fmt.Sscanf(sp.SpanID, "s%d", &n)
+		if n < 2*maxSpans {
+			t.Fatalf("span %s survived eviction; want only the newest %d", sp.SpanID, maxSpans)
+		}
+	}
+	// Evicted IDs were released from the dedup index, so they can be
+	// re-added (a resend of an evicted span is a fresh span again).
+	if !ts.Add(mkSpan("t1", 0)) {
+		t.Fatalf("evicted span ID still deduped")
+	}
+}
+
+func TestTraceStoreTraceEviction(t *testing.T) {
+	ts := NewTraceStore(3, 8)
+	for i := 0; i < 5; i++ {
+		ts.Add(mkSpan(fmt.Sprintf("t%d", i), i))
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("store holds %d traces, want 3", ts.Len())
+	}
+	if ts.Trace("t0") != nil || ts.Trace("t1") != nil {
+		t.Fatalf("oldest traces not evicted")
+	}
+	if ts.Trace("t4") == nil {
+		t.Fatalf("newest trace evicted")
+	}
+}
+
+// TestTraceStoreConcurrent hammers one bounded trace from parallel
+// writers (with deliberate SpanID overlap between them) while readers
+// iterate, asserting the bound holds and no span is double-counted.
+// Run under -race this is the satellite's concurrency guarantee.
+func TestTraceStoreConcurrent(t *testing.T) {
+	const (
+		writers  = 8
+		perW     = 200
+		maxSpans = 64
+	)
+	ts := NewTraceStore(4, maxSpans)
+	var added atomic64Counter
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Half the IDs collide across writers: every even span is
+				// shipped by all writers, exercising the dedup path.
+				n := i
+				if i%2 == 1 {
+					n = w*perW + i
+				}
+				if ts.Add(mkSpan("shared", n)) {
+					added.inc()
+				}
+				ts.Add(mkSpan(fmt.Sprintf("side-%d", w), i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = ts.Trace("shared")
+			_ = ts.Slowest(5)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	got := ts.Trace("shared")
+	if len(got) != maxSpans {
+		t.Fatalf("shared trace holds %d spans, want ring bound %d", len(got), maxSpans)
+	}
+	seen := map[string]bool{}
+	for _, sp := range got {
+		if seen[sp.SpanID] {
+			t.Fatalf("span %s appears twice in one trace", sp.SpanID)
+		}
+		seen[sp.SpanID] = true
+	}
+	// Spans come back sorted by start time.
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.Before(got[i-1].Start) {
+			t.Fatalf("spans not sorted by start at %d", i)
+		}
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("store holds %d traces, want cap 4", ts.Len())
+	}
+}
+
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *TraceStore
+	if ts.Add(mkSpan("t", 0)) {
+		t.Fatalf("nil store accepted a span")
+	}
+	if ts.Trace("t") != nil || ts.Slowest(3) != nil || ts.Len() != 0 {
+		t.Fatalf("nil store reads not empty")
+	}
+}
+
+func TestSlowestSkipsRootSpans(t *testing.T) {
+	ts := NewTraceStore(4, 8)
+	ts.Add(Span{TraceID: "t", SpanID: "root", Name: "job", DurationSec: 100})
+	ts.Add(Span{TraceID: "t", SpanID: "a", Name: "run", DurationSec: 5})
+	ts.Add(Span{TraceID: "t", SpanID: "b", Name: "queue", DurationSec: 9})
+	got := ts.Slowest(2)
+	if len(got) != 2 || got[0].SpanID != "b" || got[1].SpanID != "a" {
+		t.Fatalf("Slowest = %+v, want queue then run", got)
+	}
+}
+
+func TestNewSpanID(t *testing.T) {
+	a, b := NewSpanID(), NewSpanID()
+	if len(a) != 8 || a == b {
+		t.Fatalf("NewSpanID gave %q, %q", a, b)
+	}
+}
+
+// atomic64Counter is a tiny test helper (avoids importing sync/atomic in
+// a way that shadows the package under test).
+type atomic64Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *atomic64Counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
